@@ -1,0 +1,59 @@
+// Command benchfig regenerates the paper's figures (and the ablations) as
+// measured tables.
+//
+// Usage:
+//
+//	benchfig               # all experiments
+//	benchfig -fig F4       # one experiment
+//	benchfig -seed 7       # different deterministic seed
+//	benchfig -list         # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fig := flag.String("fig", "all", "experiment id (F1..F12, A1..A3) or 'all'")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Println(e.ID)
+		}
+		return 0
+	}
+	if *fig != "all" {
+		gen, ok := experiments.ByID(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchfig: unknown experiment %q (try -list)\n", *fig)
+			return 2
+		}
+		rep, err := gen(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %s: %v\n", *fig, err)
+			return 1
+		}
+		fmt.Println(rep)
+		return 0
+	}
+	for _, e := range experiments.All() {
+		rep, err := e.Gen(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %s: %v\n", e.ID, err)
+			return 1
+		}
+		fmt.Println(rep)
+	}
+	return 0
+}

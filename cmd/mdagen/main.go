@@ -1,0 +1,103 @@
+// Command mdagen walks the model-driven design trajectory for the
+// floor-control PIM: it prints the milestones, the abstract-platform
+// realization decision for a chosen concrete platform (direct vs
+// recursive), and optionally executes the resulting PSI to prove it
+// conforms to the service definition.
+//
+// Usage:
+//
+//	mdagen                          # trajectory to every concrete platform
+//	mdagen -target rpc-rmi-like     # one target, with realization detail
+//	mdagen -target queue-mq-like -run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/floorcontrol"
+	"repro/internal/mda"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	target := flag.String("target", "", "concrete platform (empty = all)")
+	execute := flag.Bool("run", false, "execute the deployed PSI under a workload and verify conformance")
+	seed := flag.Int64("seed", 1, "simulation seed for -run")
+	flag.Parse()
+
+	pim := floorcontrol.PIM(floorcontrol.ResourceNames(2))
+	fmt.Println("platform-independent service design (PIM):")
+	fmt.Printf("  name: %s\n", pim.Name)
+	fmt.Printf("  abstract platform: %s requiring %v\n\n", pim.Abstract.Name, pim.Abstract.Requires)
+	fmt.Println("service definition (paradigm-independent reference point):")
+	fmt.Println(indent(pim.Service.Document(), "  "))
+
+	targets := mda.ConcretePlatforms()
+	if *target != "" {
+		p, ok := mda.ConcretePlatformByName(*target)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mdagen: unknown platform %q; known:\n", *target)
+			for _, t := range targets {
+				fmt.Fprintf(os.Stderr, "  %s\n", t.Name)
+			}
+			return 2
+		}
+		targets = []mda.ConcretePlatform{p}
+	}
+
+	for _, t := range targets {
+		steps, realization, err := mda.PlanTrajectory(pim, t)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdagen: %s: %v\n", t.Name, err)
+			return 1
+		}
+		fmt.Printf("— trajectory to %s —\n", t.Name)
+		for i, s := range steps {
+			fmt.Printf("  %d. %-38s %s\n", i+1, s.Milestone, s.Detail)
+		}
+		fmt.Print(indent(realization.Describe(), "  "))
+		if *execute {
+			res, err := floorcontrol.RunWorkload(floorcontrol.Config{
+				Solution: "mda-" + t.Name,
+				Seed:     *seed,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mdagen: run on %s: %v\n", t.Name, err)
+				return 1
+			}
+			verdict := "conforms"
+			if res.ConformanceErr != nil {
+				verdict = "VIOLATION: " + res.ConformanceErr.Error()
+			}
+			fmt.Printf("  PSI executed: %d/%d cycles, %d wire msgs, acquire %s — %s\n",
+				res.Completed, res.Expected, res.NetMessages, res.AcquireLatency.Summary(), verdict)
+			if res.ConformanceErr != nil {
+				return 1
+			}
+		}
+		fmt.Println()
+	}
+	return 0
+}
+
+func indent(s, prefix string) string {
+	out := ""
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			if start < i {
+				out += prefix + s[start:i]
+			}
+			if i < len(s) {
+				out += "\n"
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

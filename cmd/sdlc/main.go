@@ -1,0 +1,189 @@
+// Command sdlc is the service-definition-language compiler: it parses a
+// .svc file (see internal/sdl), validates it, prints the canonical form
+// or the Figure-5-style service document, and can check a recorded trace
+// against the specification — the tooling face of the paper's proposed
+// modelling language.
+//
+// Usage:
+//
+//	sdlc -spec examples/specs/floorcontrol.svc
+//	sdlc -spec examples/specs/floorcontrol.svc -doc
+//	sdlc -spec examples/specs/floorcontrol.svc -check trace.txt
+//	sdlc -example > my-service.svc
+//
+// Trace files contain one primitive execution per line:
+//
+//	<role>:<sap-id> <primitive> [<param>=<value> ...]   # comments allowed
+//
+// Values parse as int, bool, or string (in that order).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/sdl"
+)
+
+const exampleSpec = `service floor-control {
+  description "coordinated exclusive access to named resources"
+  role subscriber [2..*]
+
+  primitive request(resid: string) from-user
+  primitive granted(resid: string) to-user
+  primitive free(resid: string) from-user
+
+  constraint local granted-follows-request:
+    precedes request -> granted key sap+param resid
+  constraint local free-follows-granted:
+    precedes granted -> free key sap+param resid
+  constraint remote exclusive-grant:
+    mutex acquire granted release free key param resid
+  constraint local request-eventually-granted:
+    eventually request -> granted key sap+param resid
+  constraint local no-request-while-held:
+    absent request between granted and free key sap+param resid
+}
+`
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	specPath := flag.String("spec", "", "service definition file (.svc)")
+	doc := flag.Bool("doc", false, "print the Figure-5-style service document instead of canonical SDL")
+	check := flag.String("check", "", "trace file to check against the specification")
+	example := flag.Bool("example", false, "print an example service definition and exit")
+	flag.Parse()
+
+	if *example {
+		fmt.Print(exampleSpec)
+		return 0
+	}
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "sdlc: -spec required (or -example)")
+		return 2
+	}
+	src, err := os.ReadFile(*specPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdlc: %v\n", err)
+		return 1
+	}
+	document, spec, perr := sdl.Parse(string(src))
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "sdlc: %s: %v\n", *specPath, perr)
+		return 1
+	}
+	switch {
+	case *check != "":
+		return checkTrace(spec, *check)
+	case *doc:
+		fmt.Print(spec.Document())
+	default:
+		fmt.Print(sdl.Format(document))
+	}
+	return 0
+}
+
+// wallClock satisfies core.Clock for offline trace checking, where event
+// times come from the file order, not a simulation.
+type lineClock struct{ line int }
+
+func (c *lineClock) Now() time.Duration { return time.Duration(c.line) }
+
+func checkTrace(spec *core.ServiceSpec, path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdlc: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+
+	clock := &lineClock{}
+	obs, err := core.NewObserver(spec, clock, core.WithEventValidation())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdlc: %v\n", err)
+		return 1
+	}
+	scanner := bufio.NewScanner(f)
+	lineNo := 0
+	violations := 0
+	for scanner.Scan() {
+		lineNo++
+		clock.line = lineNo
+		line := strings.TrimSpace(scanner.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		sap, prim, params, perr := parseTraceLine(line)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "sdlc: %s:%d: %v\n", path, lineNo, perr)
+			return 1
+		}
+		if verr := obs.Observe(sap, prim, params); verr != nil {
+			fmt.Printf("%s:%d: VIOLATION: %v\n", path, lineNo, verr)
+			violations++
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "sdlc: %v\n", err)
+		return 1
+	}
+	if err := obs.Complete(); err != nil {
+		// Report only end-of-trace findings not already printed.
+		for _, v := range obs.Violations() {
+			if viol, ok := core.AsViolation(v); ok && viol.Event == nil {
+				fmt.Printf("%s:end: VIOLATION: %v\n", path, v)
+				violations++
+			}
+		}
+	}
+	if violations > 0 {
+		fmt.Printf("%d violation(s) in %d events\n", violations, obs.EventCount())
+		return 1
+	}
+	fmt.Printf("trace conforms: %d events, all constraints satisfied\n", obs.EventCount())
+	return 0
+}
+
+// parseTraceLine parses "<role>:<id> <primitive> [k=v ...]".
+func parseTraceLine(line string) (core.SAP, string, codec.Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return core.SAP{}, "", nil, fmt.Errorf("want '<role>:<id> <primitive> [k=v ...]', got %q", line)
+	}
+	role, id, ok := strings.Cut(fields[0], ":")
+	if !ok || role == "" || id == "" {
+		return core.SAP{}, "", nil, fmt.Errorf("bad SAP %q (want role:id)", fields[0])
+	}
+	params := codec.Record{}
+	for _, kv := range fields[2:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return core.SAP{}, "", nil, fmt.Errorf("bad parameter %q (want k=v)", kv)
+		}
+		params[k] = parseValue(v)
+	}
+	return core.SAP{Role: role, ID: id}, fields[1], params, nil
+}
+
+func parseValue(v string) codec.Value {
+	if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+		return n
+	}
+	if b, err := strconv.ParseBool(v); err == nil {
+		return b
+	}
+	return v
+}

@@ -1,0 +1,21 @@
+// Package repro is a full, executable reproduction of "The role of the
+// service concept in model-driven applications development" (Almeida, van
+// Sinderen, Ferreira Pires, Quartel — Middleware 2003).
+//
+// The paper is conceptual; this repository makes it runnable. It contains
+// a deterministic discrete-event simulation substrate, a simulated
+// network, a protocol framework (entities, PDUs, layering, a go-back-N
+// reliability layer), a component middleware platform (RPC, one-way
+// messages, queues, pub/sub — internally mapped onto implicit wire
+// protocols), the service concept as a machine-checkable artifact
+// (specifications, constraints, online conformance observation, LTS trace
+// refinement), the paper's floor-control running example in all six
+// design alternatives, and an MDA engine that realizes one
+// platform-independent design on four concrete platforms, recursively
+// synthesizing abstract-platform service logic where concepts are
+// missing.
+//
+// Start with README.md, DESIGN.md (system inventory and experiment
+// index), EXPERIMENTS.md (paper-vs-measured record), the examples/
+// directory, and cmd/benchfig which regenerates every figure.
+package repro

@@ -1,0 +1,63 @@
+// Chat: the repository's second case study run end to end — a totally
+// ordered multiparty chat service (internal/chat) designed with the same
+// method as the paper's floor-control example: a service definition with
+// a custom application-defined constraint, a sequencer protocol behind the
+// service boundary, and (with -platform) the same logic deployed through
+// the MDA trajectory onto a concrete middleware platform.
+//
+//	go run ./examples/chat
+//	go run ./examples/chat -participants 5 -loss 0.2
+//	go run ./examples/chat -platform queue-mq-like
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/chat"
+)
+
+func main() {
+	participants := flag.Int("participants", 3, "group size")
+	messages := flag.Int("messages", 4, "utterances per participant")
+	loss := flag.Float64("loss", 0.1, "datagram loss rate (masked by the reliability layer)")
+	platform := flag.String("platform", "", "deploy the chat PIM on a concrete platform (rpc-corba-like, rpc-rmi-like, msg-jms-like, queue-mq-like); empty = sequencer protocol")
+	seed := flag.Int64("seed", 7, "simulation seed")
+	flag.Parse()
+
+	fmt.Println(chat.Spec().Document())
+
+	res, err := chat.Run(chat.Config{
+		Participants: *participants,
+		MessagesEach: *messages,
+		LossRate:     *loss,
+		Jitter:       time.Millisecond,
+		Seed:         *seed,
+		Platform:     *platform,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chat:", err)
+		os.Exit(1)
+	}
+
+	how := "sequencer protocol over reliable datagrams"
+	if *platform != "" {
+		how = "chat PIM deployed on " + *platform + " via the MDA trajectory"
+	}
+	fmt.Printf("ran as: %s\n", how)
+	fmt.Printf("said %d utterances; %d deliveries across %d participants:\n",
+		res.Said, res.Delivered, len(res.PerParticipant))
+	for p, n := range res.PerParticipant {
+		fmt.Printf("  %s heard %d\n", p, n)
+	}
+	fmt.Printf("own-message delivery latency: %s\n", res.DeliveryLatency.Summary())
+	fmt.Printf("network: %d datagrams sent, %d dropped by %.0f%% loss (masked below the service)\n",
+		res.NetMessages, res.NetDropped, *loss*100)
+	if res.ConformanceErr != nil {
+		fmt.Println("conformance: VIOLATION —", res.ConformanceErr)
+		os.Exit(1)
+	}
+	fmt.Println("conformance: total order, no spurious delivery, and self-delivery liveness all verified")
+}

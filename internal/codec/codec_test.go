@@ -1,0 +1,337 @@
+package codec
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, v Value) Value {
+	t.Helper()
+	data, err := Encode(v)
+	if err != nil {
+		t.Fatalf("Encode(%v): %v", v, err)
+	}
+	out, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode(Encode(%v)): %v", v, err)
+	}
+	return out
+}
+
+func TestRoundTripScalars(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Value
+		want Value
+	}{
+		{"nil", nil, nil},
+		{"true", true, true},
+		{"false", false, false},
+		{"int zero", int64(0), int64(0)},
+		{"int positive", int64(12345), int64(12345)},
+		{"int negative", int64(-99999), int64(-99999)},
+		{"int min", int64(math.MinInt64), int64(math.MinInt64)},
+		{"int max", int64(math.MaxInt64), int64(math.MaxInt64)},
+		{"plain int widens", int(7), int64(7)},
+		{"int32 widens", int32(-5), int64(-5)},
+		{"uint zero", uint64(0), uint64(0)},
+		{"uint max", uint64(math.MaxUint64), uint64(math.MaxUint64)},
+		{"uint32 widens", uint32(9), uint64(9)},
+		{"float", 3.25, 3.25},
+		{"float neg zero", math.Copysign(0, -1), math.Copysign(0, -1)},
+		{"string empty", "", ""},
+		{"string", "floor-control", "floor-control"},
+		{"string unicode", "prótocol — 服务", "prótocol — 服务"},
+		{"bytes", []byte{0, 1, 2, 255}, []byte{0, 1, 2, 255}},
+		{"bytes empty", []byte{}, []byte{}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := roundTrip(t, tt.in)
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Fatalf("round trip = %#v, want %#v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRoundTripNaN(t *testing.T) {
+	got := roundTrip(t, math.NaN())
+	f, ok := got.(float64)
+	if !ok || !math.IsNaN(f) {
+		t.Fatalf("NaN round trip = %#v", got)
+	}
+}
+
+func TestRoundTripComposites(t *testing.T) {
+	in := Record{
+		"resid": "res-1",
+		"subid": int64(4),
+		"nested": List{
+			"a", int64(1), true, nil,
+			Record{"deep": List{[]byte{9}}},
+		},
+		"empty-list": List{},
+		"empty-rec":  Record{},
+	}
+	got := roundTrip(t, in)
+	if !reflect.DeepEqual(got, Value(in)) {
+		t.Fatalf("round trip = %#v, want %#v", got, in)
+	}
+}
+
+func TestCanonicalRecordEncoding(t *testing.T) {
+	a := Record{"x": int64(1), "y": int64(2), "z": "s"}
+	b := Record{"z": "s", "y": int64(2), "x": int64(1)}
+	ea, eb := MustEncode(a), MustEncode(b)
+	if !reflect.DeepEqual(ea, eb) {
+		t.Fatal("record encoding not canonical under key order")
+	}
+}
+
+func TestUnsupportedType(t *testing.T) {
+	_, err := Encode(struct{ X int }{1})
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+	_, err = Encode(Record{"k": make(chan int)})
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("nested err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	var v Value = "leaf"
+	for i := 0; i < maxDepth+2; i++ {
+		v = List{v}
+	}
+	if _, err := Encode(v); !errors.Is(err, ErrDepth) {
+		t.Fatalf("encode err = %v, want ErrDepth", err)
+	}
+	// Hand-roll a deep encoding to hit the decode-side limit: each level is
+	// tagList + count 1.
+	var data []byte
+	for i := 0; i < maxDepth+2; i++ {
+		data = append(data, tagList, 1)
+	}
+	data = append(data, tagNil)
+	if _, err := Decode(data); !errors.Is(err, ErrDepth) {
+		t.Fatalf("decode err = %v, want ErrDepth", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"bad tag", []byte{0xEE}, ErrBadTag},
+		{"truncated string", []byte{tagString, 10, 'a'}, ErrSize},
+		{"truncated float", []byte{tagFloat, 1, 2}, ErrTruncated},
+		{"truncated varint", []byte{tagInt}, ErrTruncated},
+		{"list size lies", []byte{tagList, 100}, ErrSize},
+		{"record size lies", []byte{tagRecord, 100}, ErrSize},
+		{"record non-string key", []byte{tagRecord, 1, tagInt, 2, tagNil}, ErrBadTag},
+		{"trailing", append(MustEncode(int64(1)), 0x00), ErrTrailing},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(tt.data); !errors.Is(err, tt.want) {
+				t.Fatalf("Decode(% x) err = %v, want %v", tt.data, err, tt.want)
+			}
+		})
+	}
+}
+
+func TestDecodePrefix(t *testing.T) {
+	buf := MustEncode(int64(7))
+	buf = append(buf, MustEncode("next")...)
+	v, n, err := DecodePrefix(buf)
+	if err != nil {
+		t.Fatalf("DecodePrefix: %v", err)
+	}
+	if v != int64(7) {
+		t.Fatalf("v = %v, want 7", v)
+	}
+	v2, _, err := DecodePrefix(buf[n:])
+	if err != nil || v2 != "next" {
+		t.Fatalf("second value = %v, %v", v2, err)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Record{"a": int64(1)}, Record{"a": int64(1)}) {
+		t.Fatal("equal records reported unequal")
+	}
+	if Equal(Record{"a": int64(1)}, Record{"a": int64(2)}) {
+		t.Fatal("unequal records reported equal")
+	}
+	if Equal(make(chan int), make(chan int)) {
+		t.Fatal("unencodable values must compare unequal")
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := NewMessage("request", Record{"subid": "s1", "resid": "r1"})
+	data, err := EncodeMessage(m)
+	if err != nil {
+		t.Fatalf("EncodeMessage: %v", err)
+	}
+	got, err := DecodeMessage(data)
+	if err != nil {
+		t.Fatalf("DecodeMessage: %v", err)
+	}
+	if got.Name != "request" || !reflect.DeepEqual(got.Fields, m.Fields) {
+		t.Fatalf("round trip = %v, want %v", got, m)
+	}
+}
+
+func TestMessageNilFields(t *testing.T) {
+	data, err := EncodeMessage(Message{Name: "free"})
+	if err != nil {
+		t.Fatalf("EncodeMessage: %v", err)
+	}
+	got, err := DecodeMessage(data)
+	if err != nil {
+		t.Fatalf("DecodeMessage: %v", err)
+	}
+	if got.Fields == nil || len(got.Fields) != 0 {
+		t.Fatalf("fields = %#v, want empty map", got.Fields)
+	}
+}
+
+func TestMessageDecodeErrors(t *testing.T) {
+	if _, err := DecodeMessage(nil); err == nil {
+		t.Fatal("expected error on empty message")
+	}
+	// A message whose "name" is an int.
+	bad := MustEncode(int64(1))
+	bad = append(bad, MustEncode(Record{})...)
+	if _, err := DecodeMessage(bad); err == nil || !strings.Contains(err.Error(), "not string") {
+		t.Fatalf("err = %v, want non-string name error", err)
+	}
+	// Trailing garbage.
+	good, _ := EncodeMessage(NewMessage("x", nil))
+	if _, err := DecodeMessage(append(good, 0)); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("err = %v, want ErrTrailing", err)
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := NewMessage("granted", Record{"resid": "r1", "at": int64(5)})
+	got := m.String()
+	if got != "granted(at=5, resid=r1)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestMessageGet(t *testing.T) {
+	m := NewMessage("op", Record{"k": "v"})
+	if v, ok := m.Get("k"); !ok || v != "v" {
+		t.Fatalf("Get(k) = %v, %v", v, ok)
+	}
+	if _, ok := m.Get("missing"); ok {
+		t.Fatal("Get(missing) reported present")
+	}
+}
+
+func TestStringListRoundTrip(t *testing.T) {
+	in := []string{"r1", "r2", "r3"}
+	v := roundTrip(t, Value(StringList(in)))
+	out, err := ToStringSlice(v)
+	if err != nil {
+		t.Fatalf("ToStringSlice: %v", err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("got %v, want %v", out, in)
+	}
+}
+
+func TestToStringSliceErrors(t *testing.T) {
+	if _, err := ToStringSlice("not a list"); err == nil {
+		t.Fatal("expected error for non-list")
+	}
+	if _, err := ToStringSlice(List{int64(1)}); err == nil {
+		t.Fatal("expected error for non-string element")
+	}
+}
+
+// Property: every generated value round-trips to a codec-equal value.
+func TestPropertyRoundTrip(t *testing.T) {
+	prop := func(i int64, u uint64, f float64, s string, b []byte, flag bool) bool {
+		in := Record{
+			"i": i, "u": u, "f": f, "s": s, "b": b, "flag": flag,
+			"list": List{i, s, flag},
+		}
+		if math.IsNaN(f) {
+			return true // NaN != NaN; covered by TestRoundTripNaN
+		}
+		data, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return Equal(in, out)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoding never panics on arbitrary bytes.
+func TestPropertyDecodeNeverPanics(t *testing.T) {
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Decode(data)        //nolint:errcheck // errors are expected
+		_, _ = DecodeMessage(data) //nolint:errcheck
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: integers round-trip exactly through zig-zag.
+func TestPropertyZigzag(t *testing.T) {
+	prop := func(x int64) bool { return unzigzag(zigzag(x)) == x }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeMessage(b *testing.B) {
+	m := NewMessage("request", Record{"subid": "subscriber-17", "resid": "resource-3", "seq": int64(12345)})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeMessage(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeMessage(b *testing.B) {
+	m := NewMessage("request", Record{"subid": "subscriber-17", "resid": "resource-3", "seq": int64(12345)})
+	data, err := EncodeMessage(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeMessage(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

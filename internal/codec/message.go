@@ -1,0 +1,120 @@
+package codec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Message is a named record: the shape of every PDU on the wire and of
+// every marshalled middleware invocation. Name identifies the message type
+// (for a PDU, its type; for an invocation, the operation).
+type Message struct {
+	Name   string
+	Fields Record
+}
+
+// NewMessage returns a message with an initialized (possibly empty) field
+// map.
+func NewMessage(name string, fields Record) Message {
+	if fields == nil {
+		fields = Record{}
+	}
+	return Message{Name: name, Fields: fields}
+}
+
+// Get returns a named field and whether it was present.
+func (m Message) Get(field string) (Value, bool) {
+	v, ok := m.Fields[field]
+	return v, ok
+}
+
+// String renders the message compactly for logs and test failures, with
+// fields in sorted order.
+func (m Message) String() string {
+	keys := make([]string, 0, len(m.Fields))
+	for k := range m.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(m.Name)
+	sb.WriteByte('(')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s=%v", k, m.Fields[k])
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// EncodeMessage produces the canonical wire form of m: the name as a
+// string value followed by the fields as a record.
+func EncodeMessage(m Message) ([]byte, error) {
+	buf, err := Append(nil, m.Name)
+	if err != nil {
+		return nil, fmt.Errorf("encode message name: %w", err)
+	}
+	fields := m.Fields
+	if fields == nil {
+		fields = Record{}
+	}
+	buf, err = Append(buf, fields)
+	if err != nil {
+		return nil, fmt.Errorf("encode message %q: %w", m.Name, err)
+	}
+	return buf, nil
+}
+
+// DecodeMessage parses the wire form produced by EncodeMessage.
+func DecodeMessage(data []byte) (Message, error) {
+	nameV, n, err := DecodePrefix(data)
+	if err != nil {
+		return Message{}, fmt.Errorf("decode message name: %w", err)
+	}
+	name, ok := nameV.(string)
+	if !ok {
+		return Message{}, fmt.Errorf("decode message: name is %T, not string", nameV)
+	}
+	fieldsV, m, err := DecodePrefix(data[n:])
+	if err != nil {
+		return Message{}, fmt.Errorf("decode message %q fields: %w", name, err)
+	}
+	if n+m != len(data) {
+		return Message{}, fmt.Errorf("decode message %q: %w", name, ErrTrailing)
+	}
+	fields, ok := fieldsV.(map[string]Value)
+	if !ok {
+		return Message{}, fmt.Errorf("decode message %q: fields are %T, not record", name, fieldsV)
+	}
+	return Message{Name: name, Fields: fields}, nil
+}
+
+// StringList converts a slice of strings to a List value; it is the wire
+// shape used for resource-identifier sets in the token-based solutions.
+func StringList(items []string) List {
+	out := make(List, len(items))
+	for i, s := range items {
+		out[i] = s
+	}
+	return out
+}
+
+// ToStringSlice converts a decoded List of strings back into []string.
+func ToStringSlice(v Value) ([]string, error) {
+	list, ok := v.([]Value)
+	if !ok {
+		return nil, fmt.Errorf("codec: %T is not a list", v)
+	}
+	out := make([]string, len(list))
+	for i, elem := range list {
+		s, ok := elem.(string)
+		if !ok {
+			return nil, fmt.Errorf("codec: list element %d is %T, not string", i, elem)
+		}
+		out[i] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chat"
+	"repro/internal/floorcontrol"
+	"repro/internal/metrics"
+)
+
+// AblationPollingSweep sweeps the polling interval under contention: the
+// §5 trade-off made quantitative. Short intervals buy latency with message
+// blow-up; the callback solutions sit at the Pareto corner.
+func AblationPollingSweep(seed int64) (*Report, error) {
+	table := metrics.NewTable("Ablation A1 — polling interval sweep (4 subscribers, 1 contended resource)",
+		"solution", "poll interval", "net msgs", "lat mean", "lat p95")
+	base := floorcontrol.Config{
+		Subscribers: 4,
+		Resources:   1,
+		Cycles:      5,
+		Seed:        seed,
+	}
+	intervals := []time.Duration{
+		2 * time.Millisecond,
+		5 * time.Millisecond,
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		50 * time.Millisecond,
+	}
+	for _, name := range []string{"mw-polling", "proto-polling"} {
+		for _, iv := range intervals {
+			cfg := base
+			cfg.Solution = name
+			cfg.PollInterval = iv
+			res, err := floorcontrol.RunWorkload(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if res.ConformanceErr != nil {
+				return nil, fmt.Errorf("a1: %s@%v: %w", name, iv, res.ConformanceErr)
+			}
+			table.AddRow(name, iv.String(),
+				fmt.Sprintf("%d", res.NetMessages),
+				res.AcquireLatency.Mean().Round(10*time.Microsecond).String(),
+				res.AcquireLatency.P95().Round(10*time.Microsecond).String())
+		}
+	}
+	for _, name := range []string{"mw-callback", "proto-callback"} {
+		cfg := base
+		cfg.Solution = name
+		res, err := floorcontrol.RunWorkload(cfg)
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(name, "- (event driven)",
+			fmt.Sprintf("%d", res.NetMessages),
+			res.AcquireLatency.Mean().Round(10*time.Microsecond).String(),
+			res.AcquireLatency.P95().Round(10*time.Microsecond).String())
+	}
+	return &Report{
+		ID:    "A1",
+		Title: "polling interval vs message count and latency",
+		Table: table,
+		Notes: []string{"polling approaches callback latency only as the interval shrinks, paying proportionally in wire messages"},
+	}, nil
+}
+
+// AblationScaling grows the subscriber count: token-ring message cost
+// grows with ring size regardless of demand; callback cost tracks demand.
+func AblationScaling(seed int64) (*Report, error) {
+	table := metrics.NewTable("Ablation A2 — scaling subscribers (1 contended resource, 3 cycles each)",
+		"solution", "subscribers", "net msgs", "msgs/cycle", "lat mean")
+	for _, name := range []string{"mw-callback", "mw-token", "proto-callback", "proto-token"} {
+		for _, subs := range []int{2, 4, 8} {
+			res, err := floorcontrol.RunWorkload(floorcontrol.Config{
+				Solution:    name,
+				Subscribers: subs,
+				Resources:   1,
+				Cycles:      3,
+				Seed:        seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if res.ConformanceErr != nil {
+				return nil, fmt.Errorf("a2: %s@%d: %w", name, subs, res.ConformanceErr)
+			}
+			table.AddRow(name, fmt.Sprintf("%d", subs),
+				fmt.Sprintf("%d", res.NetMessages),
+				fmt.Sprintf("%.1f", float64(res.NetMessages)/float64(res.Completed)),
+				res.AcquireLatency.Mean().Round(10*time.Microsecond).String())
+		}
+	}
+	return &Report{
+		ID:    "A2",
+		Title: "message complexity as the subscriber set grows",
+		Table: table,
+		Notes: []string{"token circulation cost grows with ring size independent of contention; callback cost tracks demand"},
+	}, nil
+}
+
+// AblationLoss raises datagram loss: the reliable-datagram layer (itself a
+// protocol designed against a service) masks loss from every solution
+// above it.
+func AblationLoss(seed int64) (*Report, error) {
+	table := metrics.NewTable("Ablation A3 — datagram loss masked by the reliability layer",
+		"solution", "loss rate", "cycles", "net msgs", "lat p95", "conformance")
+	for _, name := range []string{"proto-callback", "mda-rpc-corba-like"} {
+		for _, loss := range []float64{0, 0.1, 0.3} {
+			res, err := floorcontrol.RunWorkload(floorcontrol.Config{
+				Solution:    name,
+				Subscribers: 3,
+				Resources:   2,
+				Cycles:      4,
+				Seed:        seed,
+				LossRate:    loss,
+			})
+			if err != nil {
+				return nil, err
+			}
+			conf := "conforms"
+			if res.ConformanceErr != nil {
+				conf = "VIOLATION"
+			}
+			table.AddRow(name, fmt.Sprintf("%.0f%%", loss*100),
+				fmt.Sprintf("%d/%d", res.Completed, res.Expected),
+				fmt.Sprintf("%d", res.NetMessages),
+				res.AcquireLatency.P95().Round(10*time.Microsecond).String(),
+				conf)
+			if res.ConformanceErr != nil {
+				return nil, fmt.Errorf("a3: %s@%.0f%%: %w", name, loss*100, res.ConformanceErr)
+			}
+		}
+	}
+	return &Report{
+		ID:    "A3",
+		Title: "loss tolerance through layering",
+		Table: table,
+		Notes: []string{"retransmission traffic rises with loss; the service above stays conformant — the layering principle at work"},
+	}, nil
+}
+
+// CaseStudyChat runs the second case study (internal/chat) across its
+// implementation paths — the sequencer protocol and the chat PIM on all
+// four concrete platforms — extending the paper's "applicability through
+// case studies" future work into a measured table.
+func CaseStudyChat(seed int64) (*Report, error) {
+	table := metrics.NewTable("Case study — totally ordered chat (3 participants × 4 messages, 10% loss)",
+		"implementation", "deliveries", "net msgs", "own-delivery mean", "conformance")
+	run := func(label, platform string) error {
+		res, err := chat.Run(chat.Config{
+			Participants: 3,
+			MessagesEach: 4,
+			LossRate:     0.1,
+			Seed:         seed,
+			Platform:     platform,
+		})
+		if err != nil {
+			return err
+		}
+		if res.ConformanceErr != nil {
+			return fmt.Errorf("case study %s: %w", label, res.ConformanceErr)
+		}
+		table.AddRow(label,
+			fmt.Sprintf("%d/%d", res.Delivered, res.Said*3),
+			fmt.Sprintf("%d", res.NetMessages),
+			res.DeliveryLatency.Mean().Round(10*time.Microsecond).String(),
+			"conforms")
+		return nil
+	}
+	if err := run("sequencer-protocol", ""); err != nil {
+		return nil, err
+	}
+	for _, target := range []string{"rpc-corba-like", "rpc-rmi-like", "msg-jms-like", "queue-mq-like"} {
+		if err := run("mda-"+target, target); err != nil {
+			return nil, err
+		}
+	}
+	return &Report{
+		ID:    "C1",
+		Title: "second case study: ordered chat via protocol and via the MDA trajectory",
+		Table: table,
+		Notes: []string{
+			"total order, no spurious delivery and self-delivery liveness verified online in every row",
+			"recursive platforms (rmi, mq) show the familiar adapter wire amplification",
+		},
+	}, nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsProduceReports(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Gen(42)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if rep.ID != e.ID {
+				t.Fatalf("report id %q, want %q", rep.ID, e.ID)
+			}
+			out := rep.String()
+			if !strings.Contains(out, rep.Title) {
+				t.Fatalf("%s: rendered report missing title", e.ID)
+			}
+			if len(out) < 100 {
+				t.Fatalf("%s: suspiciously small report:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("F4"); !ok {
+		t.Fatal("F4 missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("bogus id resolved")
+	}
+}
+
+func TestExperimentCount(t *testing.T) {
+	// 12 figures + 3 ablations + 1 case study.
+	if got := len(All()); got != 16 {
+		t.Fatalf("experiments = %d, want 16", got)
+	}
+}
+
+func TestFig7ShapeHolds(t *testing.T) {
+	rep, err := Fig7Scattering(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	// Middleware rows index 1.00, protocol and MDA rows 0.00.
+	if !strings.Contains(out, "1.00") || !strings.Contains(out, "0.00") {
+		t.Fatalf("scattering contrast missing:\n%s", out)
+	}
+}
+
+func TestFig12ShapeHolds(t *testing.T) {
+	rep, err := Fig12Recursion(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, want := range []string{"direct", "recursive", "async-over-sync", "async-over-queue"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig12 report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeterministicReports(t *testing.T) {
+	// Reports with the same seed must render identically.
+	for _, id := range []string{"F4", "F6", "F10"} {
+		gen, _ := ByID(id)
+		a, err := gen(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := gen(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("%s: nondeterministic report", id)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package floorcontrol
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// safetySpec is Spec() with the liveness constraint removed: the LTS
+// encodes safety only (any prefix of a legal behaviour is a legal trace),
+// so the cross-check below must compare against safety monitors only.
+func safetySpec() *core.ServiceSpec {
+	s := Spec()
+	var kept []core.Constraint
+	for _, c := range s.Constraints {
+		if _, isLive := c.(*core.EventuallyFollows); !isLive {
+			kept = append(kept, c)
+		}
+	}
+	s.Constraints = kept
+	return s
+}
+
+// TestPropertyLTSAgreesWithMonitors is the formal cross-validation: two
+// independent encodings of the floor-control service — the generated
+// behaviour LTS and the online constraint monitors — must accept exactly
+// the same event sequences. Random traces (valid and invalid alike)
+// exercise both.
+func TestPropertyLTSAgreesWithMonitors(t *testing.T) {
+	subs := SubscriberNames(2)
+	ress := ResourceNames(2)
+	spec := ServiceLTS(subs, ress)
+
+	prop := func(seed int64, length uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(length%20) + 1
+
+		kernel := sim.NewKernel()
+		obs, err := core.NewObserver(safetySpec(), kernel)
+		if err != nil {
+			return false
+		}
+		var labels []string
+		monitorsOK := true
+		for i := 0; i < n; i++ {
+			sub := subs[rng.Intn(len(subs))]
+			res := ress[rng.Intn(len(ress))]
+			prim := []string{PrimRequest, PrimGranted, PrimFree}[rng.Intn(3)]
+			e := core.Event{
+				SAP:       SubscriberSAP(sub),
+				Primitive: prim,
+				Params:    codec.Record{ParamResource: res},
+			}
+			labels = append(labels, e.Label())
+			if obs.Observe(e.SAP, e.Primitive, e.Params) != nil {
+				monitorsOK = false
+				break // monitors reject at first violation; LTS must reject the same prefix
+			}
+		}
+		ltsOK := spec.Accepts(labels)
+		return ltsOK == monitorsOK
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyExecutedTracesAlwaysAccepted drives random small workloads
+// through random solutions and requires LTS acceptance every time — the
+// fuzzing face of the conformance result.
+func TestPropertyExecutedTracesAlwaysAccepted(t *testing.T) {
+	names := []string{
+		"mw-callback", "mw-polling", "mw-token",
+		"proto-callback", "proto-polling", "proto-token",
+		"mda-rpc-rmi-like", "mda-queue-mq-like",
+	}
+	spec := ServiceLTS(SubscriberNames(2), ResourceNames(1))
+	prop := func(seed int64, which uint8, cycles uint8) bool {
+		res, err := RunWorkload(Config{
+			Solution:    names[int(which)%len(names)],
+			Subscribers: 2,
+			Resources:   1,
+			Cycles:      int(cycles%3) + 1,
+			Seed:        seed,
+		})
+		if err != nil {
+			return false
+		}
+		if res.ConformanceErr != nil {
+			return false
+		}
+		return spec.Accepts(res.Trace.Labels())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package floorcontrol
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/middleware"
+)
+
+// MWCallback is the callback-based middleware solution of Figure 4(a):
+// "the controller is a singleton component that has an interface with a
+// request_permission operation. ... Eventually, when the resource is to be
+// granted to the subscriber, a grant operation of the subscriber's
+// interface is invoked by the controller. When the subscriber wants to
+// release the resource, a free operation of the controller's interface is
+// invoked."
+//
+// Interaction functionality resident in application parts (Figure 7): the
+// subscriber part must expose a grant callback interface and invoke
+// request_permission/free; the controller is itself an application part
+// centralizing the coordination.
+type MWCallback struct{}
+
+var _ Solution = (*MWCallback)(nil)
+
+// Name implements Solution.
+func (*MWCallback) Name() string { return "mw-callback" }
+
+// Paradigm implements Solution.
+func (*MWCallback) Paradigm() Paradigm { return ParadigmMiddleware }
+
+// Style implements Solution.
+func (*MWCallback) Style() Style { return StyleCallback }
+
+// Figure implements Solution.
+func (*MWCallback) Figure() string { return "Fig 4(a)" }
+
+// Scattering implements Solution: per subscriber part, 3 interaction
+// operations (request_permission invocation, grant callback
+// implementation, free invocation); the controller part implements 3
+// (request_permission, free, grant invocation logic).
+func (*MWCallback) Scattering(n int) Scattering {
+	return Scattering{AppPartOps: 3 * n, ControllerOps: 3}
+}
+
+// Build implements Solution.
+func (s *MWCallback) Build(env *Env) (map[string]AppPart, error) {
+	if err := requireRPCPlatform(env, s.Name()); err != nil {
+		return nil, err
+	}
+	ctrl := &callbackController{env: env, q: newResourceQueue(env.Resources)}
+	if err := env.Platform.Register("controller", ctrlNode, ctrl); err != nil {
+		return nil, fmt.Errorf("floorcontrol: register controller: %w", err)
+	}
+	parts := make(map[string]AppPart, len(env.Subscribers))
+	for _, sub := range env.Subscribers {
+		part := &mwCallbackPart{env: env, sub: sub, pending: make(map[string]func())}
+		if err := env.Platform.Register(subObjRef(sub), middleware.Addr(sub), part.component()); err != nil {
+			return nil, fmt.Errorf("floorcontrol: register subscriber %q: %w", sub, err)
+		}
+		parts[sub] = part
+	}
+	return parts, nil
+}
+
+// callbackController is the singleton controller component.
+type callbackController struct {
+	env *Env
+
+	mu sync.Mutex
+	q  *resourceQueue
+}
+
+var _ middleware.Object = (*callbackController)(nil)
+
+// Dispatch implements middleware.Object.
+func (c *callbackController) Dispatch(op string, args codec.Record, reply middleware.Reply) {
+	sub, _ := args["subid"].(string)
+	res, _ := args[ParamResource].(string)
+	switch op {
+	case "request_permission":
+		c.mu.Lock()
+		if !c.q.known(res) {
+			c.mu.Unlock()
+			reply(nil, fmt.Errorf("unknown resource %q", res))
+			return
+		}
+		granted := c.q.tryAcquire(sub, res)
+		if !granted {
+			c.q.enqueue(sub, res)
+		}
+		c.mu.Unlock()
+		reply(codec.Record{}, nil) // intention registered
+		if granted {
+			c.grant(sub, res)
+		}
+	case "free":
+		c.mu.Lock()
+		next, ok, err := c.q.release(sub, res)
+		c.mu.Unlock()
+		if err != nil {
+			reply(nil, err)
+			return
+		}
+		reply(codec.Record{}, nil)
+		if ok {
+			c.grant(next, res)
+		}
+	default:
+		reply(nil, fmt.Errorf("%w: %q", middleware.ErrUnknownOperation, op))
+	}
+}
+
+// grant invokes the grant operation of the subscriber's callback
+// interface.
+func (c *callbackController) grant(sub, res string) {
+	err := c.env.Platform.Invoke(ctrlNode, subObjRef(sub), "grant",
+		codec.Record{ParamResource: res}, nil)
+	if err != nil {
+		// Unknown subscriber object: deployment error surfaced in tests.
+		panic(fmt.Sprintf("floorcontrol: grant to %q: %v", sub, err))
+	}
+}
+
+// mwCallbackPart is one subscriber's application part. The grant callback
+// interface it must expose, and the invocations it must issue, are the
+// interaction functionality the paradigm scatters into it.
+type mwCallbackPart struct {
+	env *Env
+	sub string
+
+	mu      sync.Mutex
+	pending map[string]func() // resource → completion
+}
+
+var _ AppPart = (*mwCallbackPart)(nil)
+
+// component returns the part's middleware-facing callback interface.
+func (p *mwCallbackPart) component() middleware.Object {
+	return middleware.ObjectFunc(func(op string, args codec.Record, reply middleware.Reply) {
+		if op != "grant" {
+			reply(nil, fmt.Errorf("%w: %q", middleware.ErrUnknownOperation, op))
+			return
+		}
+		res, _ := args[ParamResource].(string)
+		p.mu.Lock()
+		done := p.pending[res]
+		delete(p.pending, res)
+		p.mu.Unlock()
+		reply(codec.Record{}, nil)
+		p.env.observe(p.sub, PrimGranted, res)
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Acquire implements AppPart.
+func (p *mwCallbackPart) Acquire(res string, done func()) {
+	p.env.observe(p.sub, PrimRequest, res)
+	p.mu.Lock()
+	p.pending[res] = done
+	p.mu.Unlock()
+	err := p.env.Platform.Invoke(middleware.Addr(p.sub), "controller", "request_permission",
+		codec.Record{"subid": p.sub, ParamResource: res}, nil)
+	if err != nil {
+		panic(fmt.Sprintf("floorcontrol: request_permission from %q: %v", p.sub, err))
+	}
+}
+
+// Release implements AppPart.
+func (p *mwCallbackPart) Release(res string) {
+	p.env.observe(p.sub, PrimFree, res)
+	err := p.env.Platform.Invoke(middleware.Addr(p.sub), "controller", "free",
+		codec.Record{"subid": p.sub, ParamResource: res}, nil)
+	if err != nil {
+		panic(fmt.Sprintf("floorcontrol: free from %q: %v", p.sub, err))
+	}
+}

@@ -1,0 +1,146 @@
+package floorcontrol
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/middleware"
+)
+
+// MWPolling is the polling-based middleware solution of Figure 4(b): "the
+// subscribers poll the controller for a certain resource by invoking the
+// operation is_available, which returns the Boolean value true when the
+// resource is available, and false otherwise. When the subscriber wants to
+// release the resource, the operation free of the controller's interface
+// is invoked."
+//
+// is_available is implemented test-and-set: a true reply simultaneously
+// assigns the resource to the caller, otherwise two pollers could both
+// read "available" and violate mutual exclusion.
+//
+// This is the solution §5 criticizes most directly: "the subscriber
+// application parts must continuously poll for a resource, in contrast
+// with the protocol solution (b), where ... the service is responsible for
+// 'polling'." The polling loop lives *inside the application part* here.
+type MWPolling struct{}
+
+var _ Solution = (*MWPolling)(nil)
+
+// Name implements Solution.
+func (*MWPolling) Name() string { return "mw-polling" }
+
+// Paradigm implements Solution.
+func (*MWPolling) Paradigm() Paradigm { return ParadigmMiddleware }
+
+// Style implements Solution.
+func (*MWPolling) Style() Style { return StylePolling }
+
+// Figure implements Solution.
+func (*MWPolling) Figure() string { return "Fig 4(b)" }
+
+// Scattering implements Solution: per subscriber part, 4 interaction
+// operations (polling loop, is_available invocation, reply inspection,
+// free invocation); the controller implements 2 (is_available, free).
+func (*MWPolling) Scattering(n int) Scattering {
+	return Scattering{AppPartOps: 4 * n, ControllerOps: 2}
+}
+
+// Build implements Solution.
+func (s *MWPolling) Build(env *Env) (map[string]AppPart, error) {
+	if err := requireRPCPlatform(env, s.Name()); err != nil {
+		return nil, err
+	}
+	ctrl := &pollingController{q: newResourceQueue(env.Resources)}
+	if err := env.Platform.Register("controller", ctrlNode, ctrl); err != nil {
+		return nil, fmt.Errorf("floorcontrol: register controller: %w", err)
+	}
+	parts := make(map[string]AppPart, len(env.Subscribers))
+	for _, sub := range env.Subscribers {
+		parts[sub] = &mwPollingPart{env: env, sub: sub}
+	}
+	return parts, nil
+}
+
+// pollingController answers availability probes with test-and-set
+// semantics. It keeps no wait queues: waiting is the pollers' problem,
+// which is precisely the structural weakness the paper highlights.
+type pollingController struct {
+	mu sync.Mutex
+	q  *resourceQueue
+}
+
+var _ middleware.Object = (*pollingController)(nil)
+
+// Dispatch implements middleware.Object.
+func (c *pollingController) Dispatch(op string, args codec.Record, reply middleware.Reply) {
+	sub, _ := args["subid"].(string)
+	res, _ := args[ParamResource].(string)
+	switch op {
+	case "is_available":
+		c.mu.Lock()
+		if !c.q.known(res) {
+			c.mu.Unlock()
+			reply(nil, fmt.Errorf("unknown resource %q", res))
+			return
+		}
+		got := c.q.tryAcquire(sub, res)
+		c.mu.Unlock()
+		reply(codec.Record{"available": got}, nil)
+	case "free":
+		c.mu.Lock()
+		_, _, err := c.q.release(sub, res)
+		c.mu.Unlock()
+		if err != nil {
+			reply(nil, err)
+			return
+		}
+		reply(codec.Record{}, nil)
+	default:
+		reply(nil, fmt.Errorf("%w: %q", middleware.ErrUnknownOperation, op))
+	}
+}
+
+// mwPollingPart is one subscriber's application part, with the polling
+// loop inside it.
+type mwPollingPart struct {
+	env *Env
+	sub string
+}
+
+var _ AppPart = (*mwPollingPart)(nil)
+
+// Acquire implements AppPart: poll until is_available returns true.
+func (p *mwPollingPart) Acquire(res string, done func()) {
+	p.env.observe(p.sub, PrimRequest, res)
+	p.poll(res, done)
+}
+
+func (p *mwPollingPart) poll(res string, done func()) {
+	err := p.env.Platform.Invoke(middleware.Addr(p.sub), "controller", "is_available",
+		codec.Record{"subid": p.sub, ParamResource: res},
+		func(result codec.Record, err error) {
+			if err != nil {
+				panic(fmt.Sprintf("floorcontrol: is_available from %q: %v", p.sub, err))
+			}
+			if avail, _ := result["available"].(bool); avail {
+				p.env.observe(p.sub, PrimGranted, res)
+				done()
+				return
+			}
+			p.env.Kernel.Schedule(p.env.PollInterval, func() { p.poll(res, done) })
+		})
+	if err != nil {
+		panic(fmt.Sprintf("floorcontrol: is_available invoke from %q: %v", p.sub, err))
+	}
+}
+
+// Release implements AppPart.
+func (p *mwPollingPart) Release(res string) {
+	p.env.observe(p.sub, PrimFree, res)
+	err := p.env.Platform.Invoke(middleware.Addr(p.sub), "controller", "free",
+		codec.Record{"subid": p.sub, ParamResource: res}, nil)
+	if err != nil {
+		panic(fmt.Sprintf("floorcontrol: free from %q: %v", p.sub, err))
+	}
+}

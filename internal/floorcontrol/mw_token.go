@@ -1,0 +1,159 @@
+package floorcontrol
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/middleware"
+)
+
+// MWToken is the token-based (symmetric) middleware solution of Figure
+// 4(c): "a list with the set of available resources circulates among the
+// subscribers. Each subscriber examines the list ..., removes the
+// identifier of the resource desired and forwards the list invoking an
+// operation in the interface of the following subscriber. When a
+// subscriber wants to release a resource, it inserts the resource
+// identifier to be released in the list." The subscriber set is known a
+// priori (no ring management, per the paper's simplification).
+//
+// Every subscriber part implements pass(set<ResourceId>) and the token
+// manipulation — the interaction functionality is scattered across all
+// application parts.
+type MWToken struct{}
+
+var _ Solution = (*MWToken)(nil)
+
+// Name implements Solution.
+func (*MWToken) Name() string { return "mw-token" }
+
+// Paradigm implements Solution.
+func (*MWToken) Paradigm() Paradigm { return ParadigmMiddleware }
+
+// Style implements Solution.
+func (*MWToken) Style() Style { return StyleToken }
+
+// Figure implements Solution.
+func (*MWToken) Figure() string { return "Fig 4(c)" }
+
+// Scattering implements Solution: per subscriber part, 3 interaction
+// operations (pass implementation, token examination/manipulation,
+// forward invocation). There is no controller.
+func (*MWToken) Scattering(n int) Scattering {
+	return Scattering{AppPartOps: 3 * n}
+}
+
+// Build implements Solution. The token starts at the first subscriber
+// carrying every resource.
+func (s *MWToken) Build(env *Env) (map[string]AppPart, error) {
+	if err := requireRPCPlatform(env, s.Name()); err != nil {
+		return nil, err
+	}
+	if len(env.Subscribers) == 0 {
+		return nil, fmt.Errorf("floorcontrol: %s requires at least one subscriber", s.Name())
+	}
+	parts := make(map[string]AppPart, len(env.Subscribers))
+	ring := make([]*mwTokenPart, len(env.Subscribers))
+	for i, sub := range env.Subscribers {
+		next := env.Subscribers[(i+1)%len(env.Subscribers)]
+		part := &mwTokenPart{env: env, sub: sub, next: next}
+		if err := env.Platform.Register(subObjRef(sub), middleware.Addr(sub), part.component()); err != nil {
+			return nil, fmt.Errorf("floorcontrol: register subscriber %q: %w", sub, err)
+		}
+		parts[sub] = part
+		ring[i] = part
+	}
+	// Inject the initial token at the first subscriber.
+	initial := append([]string(nil), env.Resources...)
+	env.Kernel.Schedule(0, func() { ring[0].onToken(initial) })
+	return parts, nil
+}
+
+// mwTokenPart is one subscriber's application part in the symmetric
+// solution.
+type mwTokenPart struct {
+	env  *Env
+	sub  string
+	next string
+
+	mu        sync.Mutex
+	wantRes   string
+	wantDone  func()
+	toRelease []string
+}
+
+var _ AppPart = (*mwTokenPart)(nil)
+
+// component exposes the pass operation to the previous subscriber in the
+// ring.
+func (p *mwTokenPart) component() middleware.Object {
+	return middleware.ObjectFunc(func(op string, args codec.Record, reply middleware.Reply) {
+		if op != "pass" {
+			reply(nil, fmt.Errorf("%w: %q", middleware.ErrUnknownOperation, op))
+			return
+		}
+		avail, err := codec.ToStringSlice(args["available"])
+		if err != nil {
+			reply(nil, fmt.Errorf("malformed token: %w", err))
+			return
+		}
+		reply(codec.Record{}, nil)
+		p.onToken(avail)
+	})
+}
+
+// onToken examines the circulating availability list, takes a wanted
+// resource, inserts releases, and forwards the token after the hop delay.
+func (p *mwTokenPart) onToken(avail []string) {
+	p.mu.Lock()
+	// Insert releases accumulated since the last visit.
+	avail = append(avail, p.toRelease...)
+	p.toRelease = nil
+	// Take the wanted resource if present.
+	var granted func()
+	var grantedRes string
+	if p.wantRes != "" {
+		for i, r := range avail {
+			if r == p.wantRes {
+				avail = append(avail[:i], avail[i+1:]...)
+				granted = p.wantDone
+				grantedRes = p.wantRes
+				p.wantRes, p.wantDone = "", nil
+				break
+			}
+		}
+	}
+	p.mu.Unlock()
+	if granted != nil {
+		p.env.observe(p.sub, PrimGranted, grantedRes)
+		granted()
+	}
+	forward := append([]string(nil), avail...)
+	p.env.Kernel.Schedule(p.env.TokenHopDelay, func() {
+		err := p.env.Platform.Invoke(middleware.Addr(p.sub), subObjRef(p.next), "pass",
+			codec.Record{"available": codec.StringList(forward)}, nil)
+		if err != nil {
+			panic(fmt.Sprintf("floorcontrol: pass from %q to %q: %v", p.sub, p.next, err))
+		}
+	})
+}
+
+// Acquire implements AppPart: registers interest; the token visit grants.
+func (p *mwTokenPart) Acquire(res string, done func()) {
+	p.env.observe(p.sub, PrimRequest, res)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.wantRes != "" {
+		panic(fmt.Sprintf("floorcontrol: %q has outstanding acquire of %q", p.sub, p.wantRes))
+	}
+	p.wantRes, p.wantDone = res, done
+}
+
+// Release implements AppPart: the identifier re-enters the list at the
+// next token visit.
+func (p *mwTokenPart) Release(res string) {
+	p.env.observe(p.sub, PrimFree, res)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.toRelease = append(p.toRelease, res)
+}

@@ -1,0 +1,163 @@
+package floorcontrol
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/protocol"
+)
+
+// ProtoCallback is the asymmetric protocol solution of Figure 6(a),
+// mirroring the callback-based middleware solution. PDUs:
+//
+//	request (subid, resid)
+//	granted (resid)
+//	free    (resid)
+//
+// A controller protocol entity centralizes coordination; subscriber
+// protocol entities translate service primitives to PDUs and back. All of
+// this lives behind the floor-control service boundary: the user parts
+// never see it.
+type ProtoCallback struct{}
+
+var _ Solution = (*ProtoCallback)(nil)
+
+// Name implements Solution.
+func (*ProtoCallback) Name() string { return "proto-callback" }
+
+// Paradigm implements Solution.
+func (*ProtoCallback) Paradigm() Paradigm { return ParadigmProtocol }
+
+// Style implements Solution.
+func (*ProtoCallback) Style() Style { return StyleCallback }
+
+// Figure implements Solution.
+func (*ProtoCallback) Figure() string { return "Fig 6(a)" }
+
+// Scattering implements Solution: the app parts contain no interaction
+// functionality (they execute service primitives only); the interaction
+// system comprises 3 subscriber-entity handlers and 3 controller-entity
+// handlers.
+func (*ProtoCallback) Scattering(n int) Scattering {
+	return Scattering{InteractionSystemOps: 3 + 3}
+}
+
+// Build implements Solution.
+func (s *ProtoCallback) Build(env *Env) (map[string]AppPart, error) {
+	return buildProtocolSolution(env, s.Name(), func(layer *protocol.Layer) error {
+		ctrl := &callbackCtrlEntity{q: newResourceQueue(env.Resources)}
+		if err := layer.AddEntity(ctrlNode, ctrl); err != nil {
+			return fmt.Errorf("floorcontrol: add controller entity: %w", err)
+		}
+		for _, sub := range env.Subscribers {
+			if err := layer.AddEntity(protocol.Addr(sub), &callbackSubEntity{controller: ctrlNode}); err != nil {
+				return fmt.Errorf("floorcontrol: add subscriber entity %q: %w", sub, err)
+			}
+		}
+		return nil
+	})
+}
+
+// callbackSubEntity translates between service primitives and PDUs at one
+// subscriber's access point.
+type callbackSubEntity struct {
+	controller protocol.Addr
+	ctx        *protocol.Context
+}
+
+var _ protocol.Entity = (*callbackSubEntity)(nil)
+
+// Init implements protocol.Entity.
+func (e *callbackSubEntity) Init(ctx *protocol.Context) error {
+	e.ctx = ctx
+	return nil
+}
+
+// FromUser implements protocol.Entity.
+func (e *callbackSubEntity) FromUser(primitive string, params codec.Record) error {
+	res, _ := params[ParamResource].(string)
+	switch primitive {
+	case PrimRequest:
+		return e.ctx.SendPDU(e.controller, codec.NewMessage("request",
+			codec.Record{"subid": string(e.ctx.Self()), ParamResource: res}))
+	case PrimFree:
+		return e.ctx.SendPDU(e.controller, codec.NewMessage("free",
+			codec.Record{"subid": string(e.ctx.Self()), ParamResource: res}))
+	default:
+		return fmt.Errorf("floorcontrol: unexpected primitive %q", primitive)
+	}
+}
+
+// FromPeer implements protocol.Entity.
+func (e *callbackSubEntity) FromPeer(_ protocol.Addr, pdu codec.Message) error {
+	if pdu.Name != "granted" {
+		return fmt.Errorf("floorcontrol: unexpected PDU %q at subscriber entity", pdu.Name)
+	}
+	res, _ := pdu.Fields[ParamResource].(string)
+	e.ctx.DeliverToUser(PrimGranted, codec.Record{ParamResource: res})
+	return nil
+}
+
+// callbackCtrlEntity is the controller protocol entity: holder and FIFO
+// queue per resource, granting by PDU.
+type callbackCtrlEntity struct {
+	ctx *protocol.Context
+
+	mu sync.Mutex
+	q  *resourceQueue
+}
+
+var _ protocol.Entity = (*callbackCtrlEntity)(nil)
+
+// Init implements protocol.Entity.
+func (e *callbackCtrlEntity) Init(ctx *protocol.Context) error {
+	e.ctx = ctx
+	return nil
+}
+
+// FromUser implements protocol.Entity: the controller has no local user.
+func (e *callbackCtrlEntity) FromUser(primitive string, _ codec.Record) error {
+	return fmt.Errorf("floorcontrol: controller entity has no service user (got %q)", primitive)
+}
+
+// FromPeer implements protocol.Entity.
+func (e *callbackCtrlEntity) FromPeer(src protocol.Addr, pdu codec.Message) error {
+	sub, _ := pdu.Fields["subid"].(string)
+	res, _ := pdu.Fields[ParamResource].(string)
+	switch pdu.Name {
+	case "request":
+		e.mu.Lock()
+		if !e.q.known(res) {
+			e.mu.Unlock()
+			return fmt.Errorf("floorcontrol: request for unknown resource %q", res)
+		}
+		granted := e.q.tryAcquire(sub, res)
+		if !granted {
+			e.q.enqueue(sub, res)
+		}
+		e.mu.Unlock()
+		if granted {
+			return e.grant(sub, res)
+		}
+		return nil
+	case "free":
+		e.mu.Lock()
+		next, ok, err := e.q.release(sub, res)
+		e.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if ok {
+			return e.grant(next, res)
+		}
+		return nil
+	default:
+		return fmt.Errorf("floorcontrol: unexpected PDU %q at controller entity from %s", pdu.Name, src)
+	}
+}
+
+func (e *callbackCtrlEntity) grant(sub, res string) error {
+	return e.ctx.SendPDU(protocol.Addr(sub), codec.NewMessage("granted",
+		codec.Record{ParamResource: res}))
+}

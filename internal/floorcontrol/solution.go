@@ -1,0 +1,209 @@
+package floorcontrol
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/middleware"
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// Paradigm identifies which of the paper's two design paradigms a solution
+// follows.
+type Paradigm string
+
+// Paradigms.
+const (
+	ParadigmMiddleware Paradigm = "middleware"
+	ParadigmProtocol   Paradigm = "protocol"
+)
+
+// Style identifies the coordination style, matching the paper's (a), (b),
+// (c) alternatives in Figures 4 and 6.
+type Style string
+
+// Coordination styles.
+const (
+	StyleCallback Style = "callback"
+	StylePolling  Style = "polling"
+	StyleToken    Style = "token"
+)
+
+// AppPart is the face of one subscriber's application part, as the
+// workload driver sees it. Implementations differ per solution — that
+// asymmetry is the point: for protocol solutions a single generic app part
+// (written against core.Provider) serves all three styles, whereas every
+// middleware solution needs its own app-part logic (the scattered
+// interaction functionality of Figure 7).
+type AppPart interface {
+	// Acquire obtains exclusive access to the resource; done runs when
+	// access is granted. At most one outstanding Acquire per app part
+	// (subscribers are cooperative, §4).
+	Acquire(res string, done func())
+	// Release returns a resource previously granted.
+	Release(res string)
+}
+
+// Env is the substrate a solution builds on. The workload driver prepares
+// it; Build wires components or protocol entities into it.
+type Env struct {
+	Kernel   *sim.Kernel
+	Net      *network.Network
+	Observer *core.Observer
+
+	// Subscribers and Resources name the deployment.
+	Subscribers []string
+	Resources   []string
+
+	// PollInterval is used by polling-style solutions; TokenHopDelay by
+	// token-style solutions.
+	PollInterval  time.Duration
+	TokenHopDelay time.Duration
+
+	// Platform is set for middleware solutions.
+	Platform *middleware.Platform
+	// Lower is the reliable-datagram lower service for protocol solutions.
+	Lower protocol.LowerService
+	// Layer is set by protocol solutions for PDU statistics.
+	Layer *protocol.Layer
+}
+
+// observe reports a service-primitive execution at a subscriber's SAP to
+// the conformance observer.
+func (e *Env) observe(sub, primitive, res string) {
+	_ = e.Observer.Observe(SubscriberSAP(sub), primitive, codec.Record{ParamResource: res}) //nolint:errcheck // violations surface via Observer.Err
+}
+
+// Solution is one of the six floor-control implementations.
+type Solution interface {
+	// Name is the unique solution identifier, e.g. "mw-callback".
+	Name() string
+	Paradigm() Paradigm
+	Style() Style
+	// Figure returns the paper figure the solution reproduces, e.g.
+	// "Fig 4(a)".
+	Figure() string
+	// Scattering reports where the interaction functionality lives for a
+	// deployment of n subscribers (totals, not per-part).
+	Scattering(n int) Scattering
+	// Build wires the solution into env and returns the application part
+	// of every subscriber.
+	Build(env *Env) (map[string]AppPart, error)
+}
+
+// Solutions returns all six solutions in paper order: Figure 4 (a,b,c)
+// then Figure 6 (a,b,c).
+func Solutions() []Solution {
+	return []Solution{
+		&MWCallback{},
+		&MWPolling{},
+		&MWToken{},
+		&ProtoCallback{},
+		&ProtoPolling{},
+		&ProtoToken{},
+	}
+}
+
+// SolutionByName finds a solution by its identifier. Names of the form
+// "mda-<concrete-platform>" resolve to trajectory solutions (see
+// MDASolutions).
+func SolutionByName(name string) (Solution, bool) {
+	for _, s := range Solutions() {
+		if s.Name() == name {
+			return s, true
+		}
+	}
+	if rest, ok := strings.CutPrefix(name, "mda-"); ok {
+		if s, err := NewMDASolution(rest); err == nil {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// ctrlNode is the hosting node of asymmetric-solution controllers.
+const ctrlNode = "ctrl"
+
+// requireRPCPlatform verifies the substrate of a middleware solution: a
+// platform whose profile supports remote invocation, the paper's §4.1
+// assumption ("we assume a component middleware that supports remote
+// invocation").
+func requireRPCPlatform(env *Env, solution string) error {
+	if env.Platform == nil {
+		return fmt.Errorf("floorcontrol: %s requires a middleware platform", solution)
+	}
+	if !env.Platform.Profile().Supports(middleware.PatternRPC) {
+		return fmt.Errorf("floorcontrol: %s requires remote invocation, which profile %q does not offer: %w",
+			solution, env.Platform.Profile().Name, middleware.ErrPatternUnsupported)
+	}
+	return nil
+}
+
+// subObjRef names a subscriber's component object on the middleware
+// platform.
+func subObjRef(sub string) middleware.ObjRef {
+	return middleware.ObjRef("sub:" + sub)
+}
+
+// resourceQueue is the controller-side bookkeeping shared by the two
+// asymmetric coordination styles: current holder and FIFO waiters, per
+// resource.
+type resourceQueue struct {
+	holder  map[string]string   // resource → subscriber ("" = free)
+	waiters map[string][]string // resource → FIFO of subscribers
+}
+
+func newResourceQueue(resources []string) *resourceQueue {
+	q := &resourceQueue{
+		holder:  make(map[string]string, len(resources)),
+		waiters: make(map[string][]string, len(resources)),
+	}
+	for _, r := range resources {
+		q.holder[r] = ""
+	}
+	return q
+}
+
+// known reports whether the resource is managed.
+func (q *resourceQueue) known(res string) bool {
+	_, ok := q.holder[res]
+	return ok
+}
+
+// tryAcquire grants res to sub if free, returning success.
+func (q *resourceQueue) tryAcquire(sub, res string) bool {
+	if q.holder[res] != "" {
+		return false
+	}
+	q.holder[res] = sub
+	return true
+}
+
+// enqueue adds sub to the FIFO for res.
+func (q *resourceQueue) enqueue(sub, res string) {
+	q.waiters[res] = append(q.waiters[res], sub)
+}
+
+// release frees res held by sub and pops the next waiter (who becomes the
+// holder), returning the new holder and whether there is one. It returns
+// an error when sub does not hold res — a protocol violation by the
+// caller.
+func (q *resourceQueue) release(sub, res string) (string, bool, error) {
+	if q.holder[res] != sub {
+		return "", false, fmt.Errorf("floorcontrol: %q released %q held by %q", sub, res, q.holder[res])
+	}
+	q.holder[res] = ""
+	w := q.waiters[res]
+	if len(w) == 0 {
+		return "", false, nil
+	}
+	next := w[0]
+	q.waiters[res] = w[1:]
+	q.holder[res] = next
+	return next, true, nil
+}

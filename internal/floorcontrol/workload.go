@@ -1,0 +1,277 @@
+package floorcontrol
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/middleware"
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// Config parameterizes one workload execution. Zero fields take the
+// defaults below, so Config{Solution: "mw-callback"} is runnable.
+type Config struct {
+	// Solution names the implementation to exercise (see Solutions).
+	Solution string
+	// Subscribers and Resources size the deployment.
+	Subscribers int
+	Resources   int
+	// Cycles is the number of acquire/hold/release rounds per subscriber.
+	Cycles int
+	// ThinkTime is the mean idle time between cycles; HoldTime the mean
+	// time a granted resource is held. Both are jittered uniformly in
+	// [0.5×, 1.5×].
+	ThinkTime time.Duration
+	HoldTime  time.Duration
+	// PollInterval drives polling-style solutions; TokenHopDelay is the
+	// per-hop forwarding delay of token-style solutions.
+	PollInterval  time.Duration
+	TokenHopDelay time.Duration
+	// Latency and LossRate configure every network link.
+	Latency  time.Duration
+	LossRate float64
+	// Seed fixes the simulation; equal seeds give identical runs.
+	Seed int64
+	// Deadline aborts a stuck run (virtual time). Liveness violations are
+	// then reported by the conformance observer.
+	Deadline time.Duration
+	// Profile selects the middleware platform profile for middleware
+	// solutions; defaults to ProfileCORBALike (the paper's "component
+	// middleware that supports remote invocation").
+	Profile middleware.Profile
+	// RawTransport, when true, runs the solution's substrate directly over
+	// the unreliable datagram service instead of the reliable-datagram
+	// layer. It is the Figure 8 experiment: swapping the interaction
+	// system *below* the middleware/service boundary. Only sensible on
+	// lossless links.
+	RawTransport bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.Subscribers <= 0 {
+		c.Subscribers = 3
+	}
+	if c.Resources <= 0 {
+		c.Resources = 2
+	}
+	if c.Cycles <= 0 {
+		c.Cycles = 5
+	}
+	if c.ThinkTime <= 0 {
+		c.ThinkTime = 20 * time.Millisecond
+	}
+	if c.HoldTime <= 0 {
+		c.HoldTime = 10 * time.Millisecond
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 10 * time.Millisecond
+	}
+	if c.TokenHopDelay <= 0 {
+		c.TokenHopDelay = 2 * time.Millisecond
+	}
+	if c.Latency <= 0 {
+		c.Latency = time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 5 * time.Minute
+	}
+	if c.Profile.Name == "" {
+		c.Profile = middleware.ProfileCORBALike
+	}
+}
+
+// SubscriberNames returns the subscriber identifiers for a deployment of
+// n: "s1".."sN".
+func SubscriberNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("s%d", i+1)
+	}
+	return out
+}
+
+// ResourceNames returns the resource identifiers "r1".."rN".
+func ResourceNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("r%d", i+1)
+	}
+	return out
+}
+
+// Result reports one workload execution.
+type Result struct {
+	Solution string
+	Paradigm Paradigm
+	Style    Style
+	Figure   string
+
+	// Completed counts finished acquire/hold/release cycles; Expected is
+	// Subscribers × Cycles.
+	Completed int
+	Expected  int
+	// AcquireLatency measures request→granted per cycle.
+	AcquireLatency metrics.Histogram
+	// LatencyBySubscriber holds each subscriber's own acquisition
+	// histogram; FairnessIndex is Jain's index over the per-subscriber
+	// mean latencies (1.0 = perfectly even service).
+	LatencyBySubscriber map[string]*metrics.Histogram
+	FairnessIndex       float64
+	// VirtualDuration is the virtual time consumed until completion (or
+	// deadline).
+	VirtualDuration time.Duration
+	// NetMessages/NetBytes count *everything* on the simulated wire,
+	// including transport acks and retransmissions — the level playing
+	// field across paradigms.
+	NetMessages uint64
+	NetBytes    uint64
+	// ParadigmMessages counts messages at the paradigm's own level:
+	// middleware wire messages, or application-protocol PDUs.
+	ParadigmMessages uint64
+	// KernelEvents is a platform-neutral proxy for computational work.
+	KernelEvents uint64
+	// ConformanceErr is the first service-constraint violation, nil for a
+	// conforming run.
+	ConformanceErr error
+	// Trace is the recorded service trace (for offline LTS refinement).
+	Trace core.Trace
+	// Scattering is the structural Figure-7 metric for this deployment.
+	Scattering Scattering
+}
+
+// RunWorkload executes the named solution under the configured workload
+// and returns measurements. The run is deterministic in Config.
+func RunWorkload(cfg Config) (*Result, error) {
+	sol, ok := SolutionByName(cfg.Solution)
+	if !ok {
+		return nil, fmt.Errorf("floorcontrol: unknown solution %q", cfg.Solution)
+	}
+	return RunWorkloadWith(sol, cfg)
+}
+
+// RunWorkloadWith is RunWorkload for a caller-supplied Solution instance —
+// useful when the caller needs to introspect the solution after the run
+// (e.g. an MDASolution's deployment).
+func RunWorkloadWith(sol Solution, cfg Config) (*Result, error) {
+	cfg.applyDefaults()
+
+	kernel := sim.NewKernel(sim.WithSeed(cfg.Seed))
+	net := network.New(kernel, network.WithDefaultLink(network.LinkConfig{
+		Latency:  cfg.Latency,
+		LossRate: cfg.LossRate,
+	}))
+	observer, err := core.NewObserver(Spec(), kernel)
+	if err != nil {
+		return nil, fmt.Errorf("floorcontrol: observer: %w", err)
+	}
+
+	env := &Env{
+		Kernel:        kernel,
+		Net:           net,
+		Observer:      observer,
+		Subscribers:   SubscriberNames(cfg.Subscribers),
+		Resources:     ResourceNames(cfg.Resources),
+		PollInterval:  cfg.PollInterval,
+		TokenHopDelay: cfg.TokenHopDelay,
+	}
+	var transport protocol.LowerService = protocol.NewReliableDatagram(kernel, protocol.NewUnreliableDatagram(net), protocol.ReliableDatagramConfig{})
+	if cfg.RawTransport {
+		transport = protocol.NewUnreliableDatagram(net)
+	}
+	switch sol.Paradigm() {
+	case ParadigmMiddleware:
+		env.Platform = middleware.New(kernel, transport, cfg.Profile, "mw-broker")
+	case ParadigmProtocol, ParadigmMDA:
+		env.Lower = transport
+	}
+
+	parts, err := sol.Build(env)
+	if err != nil {
+		return nil, fmt.Errorf("floorcontrol: build %s: %w", sol.Name(), err)
+	}
+
+	res := &Result{
+		Solution:            sol.Name(),
+		Paradigm:            sol.Paradigm(),
+		Style:               sol.Style(),
+		Figure:              sol.Figure(),
+		Expected:            cfg.Subscribers * cfg.Cycles,
+		Scattering:          sol.Scattering(cfg.Subscribers),
+		LatencyBySubscriber: make(map[string]*metrics.Histogram, cfg.Subscribers),
+	}
+	for _, sub := range env.Subscribers {
+		res.LatencyBySubscriber[sub] = &metrics.Histogram{}
+	}
+
+	// jitter returns d scaled uniformly into [0.5d, 1.5d).
+	jitter := func(d time.Duration) time.Duration {
+		if d <= 0 {
+			return 0
+		}
+		return d/2 + time.Duration(kernel.Rand().Int63n(int64(d)))
+	}
+
+	remaining := res.Expected
+	var runCycle func(sub string, part AppPart, cycle int)
+	runCycle = func(sub string, part AppPart, cycle int) {
+		kernel.Schedule(jitter(cfg.ThinkTime), func() {
+			target := env.Resources[kernel.Rand().Intn(len(env.Resources))]
+			start := kernel.Now()
+			part.Acquire(target, func() {
+				elapsed := kernel.Now() - start
+				res.AcquireLatency.Add(elapsed)
+				res.LatencyBySubscriber[sub].Add(elapsed)
+				kernel.Schedule(jitter(cfg.HoldTime), func() {
+					part.Release(target)
+					res.Completed++
+					remaining--
+					if remaining == 0 {
+						kernel.Stop()
+					} else if cycle+1 < cfg.Cycles {
+						runCycle(sub, part, cycle+1)
+					}
+				})
+			})
+		})
+	}
+	for _, sub := range env.Subscribers {
+		part, ok := parts[sub]
+		if !ok {
+			return nil, fmt.Errorf("floorcontrol: %s built no app part for %q", sol.Name(), sub)
+		}
+		runCycle(sub, part, 0)
+	}
+	kernel.Schedule(cfg.Deadline, func() { kernel.Stop() })
+
+	if _, err := kernel.Run(); err != nil && !errors.Is(err, sim.ErrStopped) {
+		return nil, fmt.Errorf("floorcontrol: run %s: %w", sol.Name(), err)
+	}
+
+	res.VirtualDuration = kernel.Now()
+	res.KernelEvents = kernel.Executed()
+	st := net.Stats()
+	res.NetMessages = st.Sent
+	res.NetBytes = st.BytesSent
+	switch {
+	case env.Layer != nil:
+		res.ParadigmMessages = env.Layer.Stats().PDUsSent
+	case env.Platform != nil:
+		res.ParadigmMessages = env.Platform.Stats().WireMessages
+	}
+	res.ConformanceErr = observer.Complete()
+	res.Trace = observer.Trace()
+	means := make([]float64, 0, len(res.LatencyBySubscriber))
+	for _, h := range res.LatencyBySubscriber {
+		means = append(means, float64(h.Mean()))
+	}
+	res.FairnessIndex = metrics.Jain(means)
+	return res, nil
+}

@@ -1,0 +1,147 @@
+package lts
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bisimilar checks strong bisimilarity of the initial states of a and b
+// by partition refinement over the disjoint union. Strong bisimulation
+// treats tau like any other label; use Hide + Determinize + TraceRefines
+// for weak (trace) comparisons.
+func Bisimilar(a, b *LTS) bool {
+	// Disjoint union: states of a keep their index, states of b are
+	// shifted by a.NumStates().
+	offset := a.NumStates()
+	total := offset + b.NumStates()
+	out := make([][]Transition, total)
+	for s := 0; s < a.NumStates(); s++ {
+		out[s] = a.out[s]
+	}
+	for s := 0; s < b.NumStates(); s++ {
+		ts := make([]Transition, len(b.out[s]))
+		for i, tr := range b.out[s] {
+			ts[i] = Transition{Label: tr.Label, To: tr.To + State(offset)}
+		}
+		out[offset+s] = ts
+	}
+	classes := partitionRefine(total, out)
+	return classes[a.initial] == classes[int(b.initial)+offset]
+}
+
+// partitionRefine computes the coarsest strong-bisimulation partition,
+// returning a class index per state.
+func partitionRefine(n int, out [][]Transition) []int {
+	classes := make([]int, n)
+	for {
+		// Signature of a state: sorted multiset of (label, class of
+		// successor). Use a set (not multiset): bisimulation cares about
+		// reachability per class, not edge multiplicity.
+		sigs := make([]string, n)
+		for s := 0; s < n; s++ {
+			set := make(map[string]struct{}, len(out[s]))
+			for _, tr := range out[s] {
+				set[tr.Label+"→"+fmt.Sprintf("%d", classes[tr.To])] = struct{}{}
+			}
+			parts := make([]string, 0, len(set))
+			for k := range set {
+				parts = append(parts, k)
+			}
+			sort.Strings(parts)
+			sigs[s] = fmt.Sprintf("%d|%s", classes[s], strings.Join(parts, ";"))
+		}
+		next := make(map[string]int)
+		newClasses := make([]int, n)
+		for s := 0; s < n; s++ {
+			id, ok := next[sigs[s]]
+			if !ok {
+				id = len(next)
+				next[sigs[s]] = id
+			}
+			newClasses[s] = id
+		}
+		same := true
+		for s := 0; s < n; s++ {
+			if newClasses[s] != classes[s] {
+				same = false
+				break
+			}
+		}
+		classes = newClasses
+		if same {
+			return classes
+		}
+	}
+}
+
+// Minimize returns the bisimulation quotient of l: the smallest LTS
+// strongly bisimilar to it. State names are the sorted member names of
+// each class.
+func (l *LTS) Minimize() *LTS {
+	classes := partitionRefine(l.NumStates(), l.out)
+	members := make(map[int][]string)
+	for s := 0; s < l.NumStates(); s++ {
+		members[classes[s]] = append(members[classes[s]], l.names[s])
+	}
+	b := NewBuilder(l.name + " (min)")
+	className := func(c int) string {
+		names := members[c]
+		sort.Strings(names)
+		return "{" + strings.Join(names, ",") + "}"
+	}
+	// Create the initial class first so it becomes the initial state.
+	created := map[int]State{}
+	order := []int{classes[l.initial]}
+	for s := 0; s < l.NumStates(); s++ {
+		order = append(order, classes[s])
+	}
+	for _, c := range order {
+		if _, ok := created[c]; !ok {
+			created[c] = b.State(className(c))
+		}
+	}
+	type edge struct {
+		from  State
+		label string
+		to    State
+	}
+	seen := make(map[edge]struct{})
+	for s := 0; s < l.NumStates(); s++ {
+		from := created[classes[s]]
+		for _, tr := range l.out[s] {
+			e := edge{from, tr.Label, created[classes[tr.To]]}
+			if _, dup := seen[e]; dup {
+				continue
+			}
+			seen[e] = struct{}{}
+			b.Transition(e.from, e.label, e.to)
+		}
+	}
+	for s := range l.final {
+		b.Final(created[classes[s]])
+	}
+	return b.MustBuild()
+}
+
+// DOT renders the LTS in Graphviz dot format for visualization.
+func (l *LTS) DOT() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n", l.name)
+	fmt.Fprintf(&sb, "  __start [shape=point];\n")
+	for s := range l.names {
+		shape := "circle"
+		if _, ok := l.final[State(s)]; ok {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&sb, "  s%d [label=%q, shape=%s];\n", s, l.names[s], shape)
+	}
+	fmt.Fprintf(&sb, "  __start -> s%d;\n", int(l.initial))
+	for s, ts := range l.out {
+		for _, tr := range ts {
+			fmt.Fprintf(&sb, "  s%d -> s%d [label=%q];\n", s, int(tr.To), tr.Label)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

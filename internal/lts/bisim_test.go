@@ -1,0 +1,148 @@
+package lts
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisimilarIdentical(t *testing.T) {
+	if !Bisimilar(simpleSpec(), simpleSpec()) {
+		t.Fatal("identical systems not bisimilar")
+	}
+}
+
+func TestBisimilarUnrolledCycle(t *testing.T) {
+	// One cycle vs the same cycle unrolled twice: strongly bisimilar.
+	b := NewBuilder("unrolled")
+	s0 := b.State("0")
+	s1 := b.State("1")
+	s2 := b.State("2")
+	s3 := b.State("3")
+	s4 := b.State("4")
+	s5 := b.State("5")
+	b.Transition(s0, "request", s1)
+	b.Transition(s1, "granted", s2)
+	b.Transition(s2, "free", s3)
+	b.Transition(s3, "request", s4)
+	b.Transition(s4, "granted", s5)
+	b.Transition(s5, "free", s0)
+	if !Bisimilar(simpleSpec(), b.MustBuild()) {
+		t.Fatal("unrolled cycle should be bisimilar to the cycle")
+	}
+}
+
+func TestNotBisimilarClassicExample(t *testing.T) {
+	// a.(b+c) vs a.b + a.c: trace equivalent but NOT bisimilar — the
+	// classic distinguishing example.
+	left := NewBuilder("a.(b+c)")
+	l0 := left.State("0")
+	l1 := left.State("1")
+	l2 := left.State("2")
+	left.Transition(l0, "a", l1)
+	left.Transition(l1, "b", l2)
+	left.Transition(l1, "c", l2)
+	right := NewBuilder("a.b+a.c")
+	r0 := right.State("0")
+	r1 := right.State("1")
+	r2 := right.State("2")
+	r3 := right.State("3")
+	right.Transition(r0, "a", r1)
+	right.Transition(r0, "a", r2)
+	right.Transition(r1, "b", r3)
+	right.Transition(r2, "c", r3)
+	ll, rr := left.MustBuild(), right.MustBuild()
+	if Bisimilar(ll, rr) {
+		t.Fatal("a.(b+c) and a.b+a.c must not be strongly bisimilar")
+	}
+	// But they ARE trace equivalent.
+	if !TraceRefines(ll, rr).Holds || !TraceRefines(rr, ll).Holds {
+		t.Fatal("the classic pair should be trace equivalent")
+	}
+}
+
+func TestNotBisimilarDifferentLabels(t *testing.T) {
+	a := NewBuilder("a")
+	a0 := a.State("0")
+	a1 := a.State("1")
+	a.Transition(a0, "x", a1)
+	b := NewBuilder("b")
+	b0 := b.State("0")
+	b1 := b.State("1")
+	b.Transition(b0, "y", b1)
+	if Bisimilar(a.MustBuild(), b.MustBuild()) {
+		t.Fatal("different labels cannot be bisimilar")
+	}
+}
+
+func TestMinimizeCollapsesEquivalentStates(t *testing.T) {
+	// Two parallel equivalent branches collapse to one.
+	b := NewBuilder("dup")
+	s0 := b.State("0")
+	p := b.State("p")
+	q := b.State("q")
+	end := b.State("end")
+	b.Transition(s0, "a", p)
+	b.Transition(s0, "a", q)
+	b.Transition(p, "b", end)
+	b.Transition(q, "b", end)
+	b.Final(end)
+	l := b.MustBuild()
+	min := l.Minimize()
+	if min.NumStates() != 3 {
+		t.Fatalf("minimized to %d states, want 3:\n%s", min.NumStates(), min)
+	}
+	if !Bisimilar(l, min) {
+		t.Fatal("minimization broke bisimilarity")
+	}
+	if len(min.Deadlocks()) != 0 {
+		t.Fatal("final marking lost in minimization")
+	}
+}
+
+func TestMinimizeServiceLTSIdempotent(t *testing.T) {
+	l := simpleSpec()
+	min := l.Minimize()
+	if !Bisimilar(l, min) {
+		t.Fatal("quotient not bisimilar to original")
+	}
+	again := min.Minimize()
+	if again.NumStates() != min.NumStates() {
+		t.Fatalf("minimize not idempotent: %d then %d states", min.NumStates(), again.NumStates())
+	}
+}
+
+func TestDOT(t *testing.T) {
+	dot := simpleSpec().DOT()
+	for _, want := range []string{"digraph", "rankdir=LR", `label="request"`, "doublecircle", "__start -> s0"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+// Property: every LTS is bisimilar to itself and to its own quotient, and
+// the quotient never has more states.
+func TestPropertyMinimizeSound(t *testing.T) {
+	prop := func(edges []struct {
+		From, To uint8
+		Label    uint8
+	}) bool {
+		if len(edges) == 0 {
+			return true
+		}
+		b := NewBuilder("rand")
+		labels := []string{"a", "b", "c"}
+		for _, e := range edges {
+			from := b.State(string(rune('A' + e.From%6)))
+			to := b.State(string(rune('A' + e.To%6)))
+			b.Transition(from, labels[e.Label%3], to)
+		}
+		l := b.MustBuild()
+		min := l.Minimize()
+		return min.NumStates() <= l.NumStates() && Bisimilar(l, min) && Bisimilar(l, l)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,379 @@
+package lts
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// simpleSpec builds the canonical request→granted→free cycle over one
+// resource — the skeleton of the floor-control service behaviour.
+func simpleSpec() *LTS {
+	b := NewBuilder("spec")
+	idle := b.State("idle")
+	requested := b.State("requested")
+	held := b.State("held")
+	b.Transition(idle, "request", requested)
+	b.Transition(requested, "granted", held)
+	b.Transition(held, "free", idle)
+	b.Final(idle)
+	return b.MustBuild()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	l := simpleSpec()
+	if l.NumStates() != 3 || l.NumTransitions() != 3 {
+		t.Fatalf("states=%d transitions=%d", l.NumStates(), l.NumTransitions())
+	}
+	if l.StateName(l.Initial()) != "idle" {
+		t.Fatalf("initial = %q", l.StateName(l.Initial()))
+	}
+	if got := l.Alphabet(); !reflect.DeepEqual(got, []string{"free", "granted", "request"}) {
+		t.Fatalf("alphabet = %v", got)
+	}
+}
+
+func TestBuilderStateDedup(t *testing.T) {
+	b := NewBuilder("x")
+	s1 := b.State("a")
+	s2 := b.State("a")
+	if s1 != s2 {
+		t.Fatal("same name produced distinct states")
+	}
+}
+
+func TestEmptyBuilder(t *testing.T) {
+	if _, err := NewBuilder("empty").Build(); !errors.Is(err, ErrNoStates) {
+		t.Fatalf("err = %v, want ErrNoStates", err)
+	}
+}
+
+func TestStateNameOutOfRange(t *testing.T) {
+	l := simpleSpec()
+	if got := l.StateName(State(99)); !strings.Contains(got, "invalid") {
+		t.Fatalf("StateName(99) = %q", got)
+	}
+	if l.Outgoing(State(99)) != nil {
+		t.Fatal("Outgoing out of range should be nil")
+	}
+}
+
+func TestAccepts(t *testing.T) {
+	l := simpleSpec()
+	tests := []struct {
+		trace []string
+		want  bool
+	}{
+		{nil, true},
+		{[]string{"request"}, true},
+		{[]string{"request", "granted"}, true},
+		{[]string{"request", "granted", "free"}, true},
+		{[]string{"request", "granted", "free", "request"}, true},
+		{[]string{"granted"}, false},
+		{[]string{"request", "free"}, false},
+		{[]string{"request", "request"}, false},
+		{[]string{"unknown"}, false},
+	}
+	for _, tt := range tests {
+		if got := l.Accepts(tt.trace); got != tt.want {
+			t.Errorf("Accepts(%v) = %v, want %v", tt.trace, got, tt.want)
+		}
+	}
+}
+
+func TestTauAbstraction(t *testing.T) {
+	b := NewBuilder("with-tau")
+	s0 := b.State("0")
+	s1 := b.State("1")
+	s2 := b.State("2")
+	b.Transition(s0, Tau, s1)
+	b.Transition(s1, "a", s2)
+	l := b.MustBuild()
+	if !l.Accepts([]string{"a"}) {
+		t.Fatal("tau prefix should be invisible")
+	}
+	if l.Accepts([]string{Tau}) {
+		t.Fatal("tau must not be a visible label")
+	}
+}
+
+func TestHide(t *testing.T) {
+	b := NewBuilder("proto")
+	s0 := b.State("0")
+	s1 := b.State("1")
+	s2 := b.State("2")
+	b.Transition(s0, "request", s1)
+	b.Transition(s1, "pdu:grant", s2)
+	b.Transition(s2, "granted", s0)
+	l := b.MustBuild()
+	hidden := l.HidePrefix("pdu:")
+	if !hidden.Accepts([]string{"request", "granted"}) {
+		t.Fatal("hidden PDU label should become tau")
+	}
+	if hidden.Accepts([]string{"request", "pdu:grant"}) {
+		t.Fatal("hidden label still visible")
+	}
+	// Original is untouched.
+	if !l.Accepts([]string{"request", "pdu:grant", "granted"}) {
+		t.Fatal("Hide mutated the receiver")
+	}
+}
+
+func TestTraces(t *testing.T) {
+	l := simpleSpec()
+	got := l.Traces(3, 100)
+	want := [][]string{
+		nil,
+		{"request"},
+		{"request", "granted"},
+		{"request", "granted", "free"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Traces = %v, want %v", got, want)
+	}
+	for i := range want {
+		if strings.Join(got[i], " ") != strings.Join(want[i], " ") {
+			t.Fatalf("Traces[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTracesBounded(t *testing.T) {
+	l := simpleSpec()
+	got := l.Traces(100, 10)
+	if len(got) > 10 {
+		t.Fatalf("maxTraces not honoured: %d", len(got))
+	}
+}
+
+func TestDeadlocks(t *testing.T) {
+	b := NewBuilder("dead")
+	s0 := b.State("0")
+	stuck := b.State("stuck")
+	done := b.State("done")
+	b.Transition(s0, "a", stuck)
+	b.Transition(s0, "b", done)
+	b.Final(done)
+	l := b.MustBuild()
+	dl := l.Deadlocks()
+	if len(dl) != 1 || l.StateName(dl[0]) != "stuck" {
+		t.Fatalf("Deadlocks = %v", dl)
+	}
+}
+
+func TestDeadlocksNoneInCycle(t *testing.T) {
+	if dl := simpleSpec().Deadlocks(); len(dl) != 0 {
+		t.Fatalf("cycle has no deadlock, got %v", dl)
+	}
+}
+
+func TestDeterminize(t *testing.T) {
+	// Nondeterministic: two 'a' edges to different continuations.
+	b := NewBuilder("nd")
+	s0 := b.State("0")
+	s1 := b.State("1")
+	s2 := b.State("2")
+	s3 := b.State("3")
+	b.Transition(s0, "a", s1)
+	b.Transition(s0, "a", s2)
+	b.Transition(s1, "b", s3)
+	b.Transition(s2, "c", s3)
+	l := b.MustBuild()
+	d := l.Determinize()
+	for _, trace := range [][]string{{"a"}, {"a", "b"}, {"a", "c"}} {
+		if !d.Accepts(trace) {
+			t.Fatalf("determinized rejects %v", trace)
+		}
+	}
+	if d.Accepts([]string{"b"}) {
+		t.Fatal("determinized accepts bogus trace")
+	}
+	// Determinism: no state has two edges with one label.
+	for s := 0; s < d.NumStates(); s++ {
+		seen := map[string]bool{}
+		for _, tr := range d.Outgoing(State(s)) {
+			if seen[tr.Label] {
+				t.Fatalf("state %d has duplicate label %q", s, tr.Label)
+			}
+			seen[tr.Label] = true
+		}
+	}
+}
+
+func TestCompose(t *testing.T) {
+	// Two users of one shared action "sync"; local actions interleave.
+	ab := NewBuilder("A")
+	a0 := ab.State("a0")
+	a1 := ab.State("a1")
+	a2 := ab.State("a2")
+	ab.Transition(a0, "localA", a1)
+	ab.Transition(a1, "sync", a2)
+	bb := NewBuilder("B")
+	b0 := bb.State("b0")
+	b1 := bb.State("b1")
+	b2 := bb.State("b2")
+	bb.Transition(b0, "localB", b1)
+	bb.Transition(b1, "sync", b2)
+	c := Compose(ab.MustBuild(), bb.MustBuild(), []string{"sync"})
+	if !c.Accepts([]string{"localA", "localB", "sync"}) {
+		t.Fatal("composition rejects valid interleaving")
+	}
+	if !c.Accepts([]string{"localB", "localA", "sync"}) {
+		t.Fatal("composition rejects other interleaving")
+	}
+	if c.Accepts([]string{"sync"}) {
+		t.Fatal("sync fired before both components ready")
+	}
+	if c.Accepts([]string{"localA", "sync"}) {
+		t.Fatal("sync fired with B not ready")
+	}
+}
+
+func TestComposeFinalStates(t *testing.T) {
+	ab := NewBuilder("A")
+	a0 := ab.State("a0")
+	ab.Final(a0)
+	bb := NewBuilder("B")
+	b0 := bb.State("b0")
+	bb.Final(b0)
+	c := Compose(ab.MustBuild(), bb.MustBuild(), nil)
+	if len(c.Deadlocks()) != 0 {
+		t.Fatal("composition of two final states should be final (no deadlock)")
+	}
+}
+
+func TestTraceRefinesHolds(t *testing.T) {
+	spec := simpleSpec()
+	// Implementation with internal steps between request and granted.
+	b := NewBuilder("impl")
+	i0 := b.State("0")
+	i1 := b.State("1")
+	i2 := b.State("2")
+	i3 := b.State("3")
+	i4 := b.State("4")
+	b.Transition(i0, "request", i1)
+	b.Transition(i1, Tau, i2) // e.g. PDU exchange, hidden
+	b.Transition(i2, "granted", i3)
+	b.Transition(i3, "free", i4)
+	b.Transition(i4, Tau, i0)
+	res := TraceRefines(b.MustBuild(), spec)
+	if !res.Holds {
+		t.Fatalf("refinement should hold, counterexample %v", res.Counterexample)
+	}
+	if res.StatesExplored == 0 {
+		t.Fatal("no states explored")
+	}
+}
+
+func TestTraceRefinesCounterexample(t *testing.T) {
+	spec := simpleSpec()
+	// Implementation that can grant without a request.
+	b := NewBuilder("bad")
+	i0 := b.State("0")
+	i1 := b.State("1")
+	b.Transition(i0, "granted", i1)
+	res := TraceRefines(b.MustBuild(), spec)
+	if res.Holds {
+		t.Fatal("refinement should fail")
+	}
+	if len(res.Counterexample) != 1 || res.Counterexample[0] != "granted" {
+		t.Fatalf("counterexample = %v, want [granted]", res.Counterexample)
+	}
+}
+
+func TestTraceRefinesShortestCounterexample(t *testing.T) {
+	spec := simpleSpec()
+	b := NewBuilder("bad2")
+	i0 := b.State("0")
+	i1 := b.State("1")
+	i2 := b.State("2")
+	i3 := b.State("3")
+	// Long valid path plus a short invalid one.
+	b.Transition(i0, "request", i1)
+	b.Transition(i1, "granted", i2)
+	b.Transition(i2, "granted", i3) // double grant: invalid at depth 3
+	b.Transition(i0, "free", i3)    // invalid at depth 1
+	res := TraceRefines(b.MustBuild(), spec)
+	if res.Holds {
+		t.Fatal("refinement should fail")
+	}
+	if len(res.Counterexample) != 1 {
+		t.Fatalf("counterexample %v not shortest", res.Counterexample)
+	}
+}
+
+func TestTraceRefinesWithNondeterministicSpec(t *testing.T) {
+	// Spec: after "a", either "b" or "c" depending on invisible choice.
+	sb := NewBuilder("ndspec")
+	s0 := sb.State("0")
+	s1 := sb.State("1")
+	s2 := sb.State("2")
+	s3 := sb.State("3")
+	sb.Transition(s0, "a", s1)
+	sb.Transition(s0, "a", s2)
+	sb.Transition(s1, "b", s3)
+	sb.Transition(s2, "c", s3)
+	spec := sb.MustBuild()
+	ib := NewBuilder("impl")
+	i0 := ib.State("0")
+	i1 := ib.State("1")
+	i2 := ib.State("2")
+	ib.Transition(i0, "a", i1)
+	ib.Transition(i1, "c", i2)
+	res := TraceRefines(ib.MustBuild(), spec)
+	if !res.Holds {
+		t.Fatalf("trace refinement over nondeterministic spec should hold; cex %v", res.Counterexample)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := simpleSpec().String()
+	for _, want := range []string{"lts \"spec\"", "> idle", "--request-->"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// Property: every enumerated trace is accepted, and refinement against self
+// always holds.
+func TestPropertyTracesAcceptedAndSelfRefine(t *testing.T) {
+	prop := func(edges []struct {
+		From, To uint8
+		Label    uint8
+	}) bool {
+		if len(edges) == 0 {
+			return true
+		}
+		b := NewBuilder("rand")
+		labels := []string{"a", "b", "c", Tau}
+		for _, e := range edges {
+			from := b.State(string(rune('A' + e.From%5)))
+			to := b.State(string(rune('A' + e.To%5)))
+			b.Transition(from, labels[e.Label%4], to)
+		}
+		l := b.MustBuild()
+		for _, tr := range l.Traces(4, 200) {
+			if !l.Accepts(tr) {
+				return false
+			}
+		}
+		return TraceRefines(l, l).Holds
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTraceRefines(b *testing.B) {
+	spec := simpleSpec()
+	impl := simpleSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !TraceRefines(impl, spec).Holds {
+			b.Fatal("refinement failed")
+		}
+	}
+}

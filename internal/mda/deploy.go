@@ -1,0 +1,340 @@
+package mda
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/middleware"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// ComponentID identifies one instance of platform-independent service
+// logic within a deployment, e.g. "controller" or "agent:s1".
+type ComponentID string
+
+// Component is platform-independent service logic. It reacts to abstract
+// directed messages and — when bound to a SAP — to service primitives. It
+// sends messages and delivers to-user primitives through its LogicContext,
+// never touching a concrete platform API: that is what makes it
+// platform-independent.
+type Component interface {
+	// Start runs once at deployment, before traffic.
+	Start(ctx *LogicContext) error
+	// OnMessage reacts to a directed message from another component.
+	OnMessage(from ComponentID, msg codec.Message) error
+	// FromUser reacts to a from-user service primitive (SAP-bound
+	// components only; others may reject).
+	FromUser(primitive string, params codec.Record) error
+}
+
+// Logic is an instantiated set of components with placement and SAP
+// bindings.
+type Logic struct {
+	// Components maps every instance to its implementation.
+	Components map[ComponentID]Component
+	// Placement assigns each instance a hosting node.
+	Placement map[ComponentID]middleware.Addr
+	// SAPBinding attaches SAPs to the component serving them.
+	SAPBinding map[core.SAP]ComponentID
+}
+
+// LogicContext is a component's window on the deployment.
+type LogicContext struct {
+	dep  *Deployment
+	self ComponentID
+}
+
+// Self returns the component's id.
+func (c *LogicContext) Self() ComponentID { return c.self }
+
+// Send transmits a directed message to another component through the
+// realized abstract platform.
+func (c *LogicContext) Send(to ComponentID, msg codec.Message) error {
+	return c.dep.messaging.send(c.self, to, msg)
+}
+
+// DeliverToUser executes a to-user service primitive at the SAP bound to
+// this component. It is a no-op without a binding or handler.
+func (c *LogicContext) DeliverToUser(primitive string, params codec.Record) {
+	c.dep.deliverToUser(c.self, primitive, params)
+}
+
+// Schedule runs fn after a virtual delay.
+func (c *LogicContext) Schedule(d time.Duration, fn func()) *sim.Timer {
+	return c.dep.kernel.Schedule(d, fn)
+}
+
+// messaging is the realized async-message concept: how directed messages
+// actually travel on a given concrete platform.
+type messaging interface {
+	// name identifies the realization for diagnostics.
+	name() string
+	// send delivers msg from one component to another.
+	send(from, to ComponentID, msg codec.Message) error
+}
+
+// Deployment is a running PSI: the PIM's logic instantiated on a concrete
+// platform. Its service boundary is a core.Provider.
+type Deployment struct {
+	kernel      *sim.Kernel
+	platform    *middleware.Platform
+	realization Realization
+	logic       *Logic
+	messaging   messaging
+
+	mu      sync.Mutex
+	sapOf   map[ComponentID]core.SAP
+	binding map[core.SAP]ComponentID
+	upcalls map[core.SAP]func(string, codec.Record)
+}
+
+var _ core.Provider = (*Deployment)(nil)
+
+// Platform exposes the underlying middleware platform (for statistics).
+func (d *Deployment) Platform() *middleware.Platform { return d.platform }
+
+// Realization reports how the abstract platform was realized.
+func (d *Deployment) Realization() Realization { return d.realization }
+
+// MessagingName reports the active async-message realization
+// ("native-oneway", "async-over-sync", "async-over-queue").
+func (d *Deployment) MessagingName() string { return d.messaging.name() }
+
+// Submit implements core.Provider.
+func (d *Deployment) Submit(sap core.SAP, primitive string, params codec.Record) error {
+	d.mu.Lock()
+	id, ok := d.binding[sap]
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("mda: SAP %s not bound", sap)
+	}
+	comp := d.logic.Components[id]
+	if err := comp.FromUser(primitive, params); err != nil {
+		return fmt.Errorf("mda: %s at %s: %w", primitive, sap, err)
+	}
+	return nil
+}
+
+// Attach implements core.Provider.
+func (d *Deployment) Attach(sap core.SAP, handler func(string, codec.Record)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.upcalls[sap] = handler
+}
+
+func (d *Deployment) deliverToUser(id ComponentID, primitive string, params codec.Record) {
+	d.mu.Lock()
+	sap, ok := d.sapOf[id]
+	var fn func(string, codec.Record)
+	if ok {
+		fn = d.upcalls[sap]
+	}
+	d.mu.Unlock()
+	if fn != nil {
+		fn(primitive, params)
+	}
+}
+
+// onDelivered routes an inbound abstract message to its component.
+func (d *Deployment) onDelivered(to ComponentID, from ComponentID, msg codec.Message) {
+	comp, ok := d.logic.Components[to]
+	if !ok {
+		return
+	}
+	_ = comp.OnMessage(from, msg) //nolint:errcheck // component errors are design errors surfaced in tests
+}
+
+// Deploy realizes pim on the target platform over the given transport and
+// instantiates its logic: milestones MilestoneAbstractRealization and
+// MilestonePSI made executable.
+func Deploy(kernel *sim.Kernel, transport protocol.LowerService, pim *PIM, target ConcretePlatform, plan Plan) (*Deployment, error) {
+	if kernel == nil || transport == nil {
+		return nil, errors.New("mda: Deploy requires kernel and transport")
+	}
+	_, realization, err := PlanTrajectory(pim, target)
+	if err != nil {
+		return nil, err
+	}
+	logic, err := pim.Build(plan)
+	if err != nil {
+		return nil, fmt.Errorf("mda: build logic for %q: %w", pim.Name, err)
+	}
+	if err := validateLogic(logic, plan); err != nil {
+		return nil, err
+	}
+	platform := middleware.New(kernel, transport, target.Profile, "mda-broker")
+	d := &Deployment{
+		kernel:      kernel,
+		platform:    platform,
+		realization: realization,
+		logic:       logic,
+		sapOf:       make(map[ComponentID]core.SAP, len(logic.SAPBinding)),
+		binding:     make(map[core.SAP]ComponentID, len(logic.SAPBinding)),
+		upcalls:     make(map[core.SAP]func(string, codec.Record)),
+	}
+	for sap, id := range logic.SAPBinding {
+		d.binding[sap] = id
+		d.sapOf[id] = sap
+	}
+	if err := d.installMessaging(target); err != nil {
+		return nil, err
+	}
+	for id, comp := range logic.Components {
+		if err := comp.Start(&LogicContext{dep: d, self: id}); err != nil {
+			return nil, fmt.Errorf("mda: start component %q: %w", id, err)
+		}
+	}
+	return d, nil
+}
+
+func validateLogic(logic *Logic, plan Plan) error {
+	if logic == nil || len(logic.Components) == 0 {
+		return errors.New("mda: logic has no components")
+	}
+	for id := range logic.Components {
+		if _, ok := logic.Placement[id]; !ok {
+			return fmt.Errorf("mda: component %q has no placement", id)
+		}
+	}
+	for sap, id := range logic.SAPBinding {
+		if _, ok := logic.Components[id]; !ok {
+			return fmt.Errorf("mda: SAP %s bound to unknown component %q", sap, id)
+		}
+	}
+	for _, sap := range plan.SAPs {
+		if _, ok := logic.SAPBinding[sap]; !ok {
+			return fmt.Errorf("mda: plan SAP %s not bound by logic", sap)
+		}
+	}
+	return nil
+}
+
+// installMessaging selects and wires the async-message realization matching
+// the concrete platform — the deployed form of the realization's adapters.
+func (d *Deployment) installMessaging(target ConcretePlatform) error {
+	switch {
+	case target.Profile.Supports(middleware.PatternOneway):
+		d.messaging = &onewayMessaging{d: d}
+		return d.registerObjects()
+	case target.Profile.Supports(middleware.PatternRPC):
+		d.messaging = &syncMessaging{d: d}
+		return d.registerObjects()
+	case target.Profile.Supports(middleware.PatternQueue):
+		d.messaging = &queueMessaging{d: d}
+		return d.subscribeQueues()
+	default:
+		return fmt.Errorf("%w: platform %q offers no usable pattern", ErrUnrealizable, target.Name)
+	}
+}
+
+// objRef names a component's middleware object.
+func objRef(id ComponentID) middleware.ObjRef { return middleware.ObjRef("logic:" + string(id)) }
+
+// queueName names a component's inbound queue in the queue realization.
+func queueName(id ComponentID) string { return "mda.q." + string(id) }
+
+// registerObjects hosts each component as a middleware object exposing
+// the generic deliver operation.
+func (d *Deployment) registerObjects() error {
+	for id := range d.logic.Components {
+		id := id
+		obj := middleware.ObjectFunc(func(op string, args codec.Record, reply middleware.Reply) {
+			if op != "deliver" {
+				reply(nil, fmt.Errorf("%w: %q", middleware.ErrUnknownOperation, op))
+				return
+			}
+			reply(codec.Record{}, nil)
+			from, _ := args["from"].(string)
+			name, _ := args["name"].(string)
+			fields, _ := args["fields"].(map[string]codec.Value)
+			d.onDelivered(id, ComponentID(from), codec.NewMessage(name, fields))
+		})
+		if err := d.platform.Register(objRef(id), d.logic.Placement[id], obj); err != nil {
+			return fmt.Errorf("mda: register %q: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// subscribeQueues declares and consumes one queue per component.
+func (d *Deployment) subscribeQueues() error {
+	for id := range d.logic.Components {
+		id := id
+		if err := d.platform.QueueDeclare(queueName(id)); err != nil {
+			return fmt.Errorf("mda: declare queue for %q: %w", id, err)
+		}
+		err := d.platform.QueueSubscribe(queueName(id), d.logic.Placement[id], func(m codec.Message) {
+			from, _ := m.Fields["from"].(string)
+			name, _ := m.Fields["name"].(string)
+			fields, _ := m.Fields["fields"].(map[string]codec.Value)
+			d.onDelivered(id, ComponentID(from), codec.NewMessage(name, fields))
+		})
+		if err != nil {
+			return fmt.Errorf("mda: subscribe queue for %q: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// envelope wraps an abstract message for the wire.
+func envelope(from ComponentID, msg codec.Message) codec.Record {
+	fields := msg.Fields
+	if fields == nil {
+		fields = codec.Record{}
+	}
+	return codec.Record{"from": string(from), "name": msg.Name, "fields": fields}
+}
+
+// onewayMessaging realizes async-message natively (CORBA-like oneway,
+// JMS-like message passing).
+type onewayMessaging struct{ d *Deployment }
+
+var _ messaging = (*onewayMessaging)(nil)
+
+func (m *onewayMessaging) name() string { return "native-oneway" }
+
+func (m *onewayMessaging) send(from, to ComponentID, msg codec.Message) error {
+	node, ok := m.d.logic.Placement[from]
+	if !ok {
+		return fmt.Errorf("mda: unplaced sender %q", from)
+	}
+	return m.d.platform.InvokeOneway(node, objRef(to), "deliver", envelope(from, msg))
+}
+
+// syncMessaging is the async-over-sync adapter (Figure 12 recursion on the
+// RMI-like platform): the directed message is a synchronous void
+// invocation whose reply is discarded.
+type syncMessaging struct{ d *Deployment }
+
+var _ messaging = (*syncMessaging)(nil)
+
+func (m *syncMessaging) name() string { return "async-over-sync" }
+
+func (m *syncMessaging) send(from, to ComponentID, msg codec.Message) error {
+	node, ok := m.d.logic.Placement[from]
+	if !ok {
+		return fmt.Errorf("mda: unplaced sender %q", from)
+	}
+	return m.d.platform.Invoke(node, objRef(to), "deliver", envelope(from, msg), nil)
+}
+
+// queueMessaging is the async-over-queue adapter (Figure 12 recursion on
+// the MQ-like platform): one inbound queue per component.
+type queueMessaging struct{ d *Deployment }
+
+var _ messaging = (*queueMessaging)(nil)
+
+func (m *queueMessaging) name() string { return "async-over-queue" }
+
+func (m *queueMessaging) send(from, to ComponentID, msg codec.Message) error {
+	node, ok := m.d.logic.Placement[from]
+	if !ok {
+		return fmt.Errorf("mda: unplaced sender %q", from)
+	}
+	return m.d.platform.QueuePut(node, queueName(to), codec.NewMessage("mda.msg", envelope(from, msg)))
+}

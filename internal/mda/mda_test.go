@@ -1,0 +1,260 @@
+package mda
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/middleware"
+)
+
+func abstractRequiring(concepts ...Concept) AbstractPlatform {
+	return AbstractPlatform{Name: "test-abstract", Requires: concepts}
+}
+
+func mustPlatform(t *testing.T, name string) ConcretePlatform {
+	t.Helper()
+	p, ok := ConcretePlatformByName(name)
+	if !ok {
+		t.Fatalf("platform %q not found", name)
+	}
+	return p
+}
+
+func TestConcretePlatformsCoverFigure10(t *testing.T) {
+	platforms := ConcretePlatforms()
+	if len(platforms) != 4 {
+		t.Fatalf("platforms = %d, want 4", len(platforms))
+	}
+	classes := map[string]int{}
+	for _, p := range platforms {
+		classes[p.Class]++
+		if p.Profile.Name != p.Name {
+			t.Fatalf("platform %q profile mismatch %q", p.Name, p.Profile.Name)
+		}
+	}
+	if classes["rpc-based"] != 2 || classes["async-messaging"] != 2 {
+		t.Fatalf("classes = %v, want 2+2 (Figure 10)", classes)
+	}
+	if _, ok := ConcretePlatformByName("nope"); ok {
+		t.Fatal("unknown platform found")
+	}
+}
+
+func TestRealizeDirect(t *testing.T) {
+	for _, name := range []string{"rpc-corba-like", "msg-jms-like"} {
+		r, err := Realize(abstractRequiring(ConceptAsyncMessage), mustPlatform(t, name), DefaultRules())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !r.Direct || len(r.Adapters) != 0 {
+			t.Fatalf("%s: want direct realization, got %+v", name, r)
+		}
+		if !strings.Contains(r.Describe(), "direct") {
+			t.Fatalf("%s: Describe = %q", name, r.Describe())
+		}
+	}
+}
+
+func TestRealizeRecursive(t *testing.T) {
+	tests := []struct {
+		platform string
+		adapter  string
+	}{
+		{"rpc-rmi-like", "async-over-sync"},
+		{"queue-mq-like", "async-over-queue"},
+	}
+	for _, tt := range tests {
+		r, err := Realize(abstractRequiring(ConceptAsyncMessage), mustPlatform(t, tt.platform), DefaultRules())
+		if err != nil {
+			t.Fatalf("%s: %v", tt.platform, err)
+		}
+		if r.Direct {
+			t.Fatalf("%s: expected recursive realization", tt.platform)
+		}
+		if len(r.Adapters) != 1 || r.Adapters[0].Rule.Name != tt.adapter {
+			t.Fatalf("%s: adapters = %+v, want %s", tt.platform, r.Adapters, tt.adapter)
+		}
+		if r.Adapters[0].Depth != 1 || r.Adapters[0].For != ConceptAsyncMessage {
+			t.Fatalf("%s: adapter metadata = %+v", tt.platform, r.Adapters[0])
+		}
+		if !strings.Contains(r.Describe(), tt.adapter) {
+			t.Fatalf("%s: Describe = %q", tt.platform, r.Describe())
+		}
+	}
+}
+
+func TestRealizeTransitive(t *testing.T) {
+	// sync-invocation on MQ-like: sync-over-async needs async-message,
+	// which itself needs async-over-queue — two levels of recursion.
+	r, err := Realize(abstractRequiring(ConceptSyncInvocation), mustPlatform(t, "queue-mq-like"), DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Adapters) != 2 {
+		t.Fatalf("adapters = %+v, want chain of 2", r.Adapters)
+	}
+	// Inner adapter resolved first (deeper).
+	if r.Adapters[0].Rule.Name != "async-over-queue" || r.Adapters[0].Depth != 2 {
+		t.Fatalf("inner adapter = %+v", r.Adapters[0])
+	}
+	if r.Adapters[1].Rule.Name != "sync-over-async" || r.Adapters[1].Depth != 1 {
+		t.Fatalf("outer adapter = %+v", r.Adapters[1])
+	}
+}
+
+func TestRealizeEventChannelOnRMI(t *testing.T) {
+	// event-channel on RMI-like: events-over-async → async-over-sync.
+	r, err := Realize(abstractRequiring(ConceptEventChannel), mustPlatform(t, "rpc-rmi-like"), DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(r.Adapters))
+	for i, a := range r.Adapters {
+		names[i] = a.Rule.Name
+	}
+	want := []string{"async-over-sync", "events-over-async"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("adapter chain = %v, want %v", names, want)
+	}
+}
+
+func TestRealizeUnrealizable(t *testing.T) {
+	// queueing has no adapter rule: unrealizable on RPC-only platforms.
+	_, err := Realize(abstractRequiring(ConceptQueueing), mustPlatform(t, "rpc-rmi-like"), DefaultRules())
+	if !errors.Is(err, ErrUnrealizable) {
+		t.Fatalf("err = %v, want ErrUnrealizable", err)
+	}
+}
+
+func TestRealizeCycleDetection(t *testing.T) {
+	rules := []AdapterRule{
+		{Realizes: "a", Using: []Concept{"b"}, Name: "a-over-b"},
+		{Realizes: "b", Using: []Concept{"a"}, Name: "b-over-a"},
+	}
+	_, err := Realize(abstractRequiring("a"), ConcretePlatform{Name: "bare"}, rules)
+	if !errors.Is(err, ErrUnrealizable) {
+		t.Fatalf("err = %v, want ErrUnrealizable on cycle", err)
+	}
+}
+
+func TestRealizeMultipleRequirements(t *testing.T) {
+	r, err := Realize(
+		abstractRequiring(ConceptAsyncMessage, ConceptSyncInvocation),
+		mustPlatform(t, "rpc-corba-like"), DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Direct {
+		t.Fatalf("corba provides both; got %+v", r)
+	}
+}
+
+func testPIM(t *testing.T) *PIM {
+	t.Helper()
+	spec := &core.ServiceSpec{
+		Name: "echo-service",
+		Primitives: []core.PrimitiveDef{
+			{Name: "ping", Direction: core.FromUser},
+			{Name: "pong", Direction: core.ToUser},
+		},
+	}
+	return &PIM{
+		Name:     "echo-pim",
+		Service:  spec,
+		Abstract: abstractRequiring(ConceptAsyncMessage),
+		Build: func(plan Plan) (*Logic, error) {
+			logic := &Logic{
+				Components: map[ComponentID]Component{},
+				Placement:  map[ComponentID]middleware.Addr{},
+				SAPBinding: map[core.SAP]ComponentID{},
+			}
+			logic.Components["echo"] = &echoLogic{}
+			logic.Placement["echo"] = "server"
+			for _, sap := range plan.SAPs {
+				id := ComponentID("agent:" + sap.ID)
+				logic.Components[id] = &echoAgent{server: "echo"}
+				logic.Placement[id] = plan.nodeOf(sap)
+				logic.SAPBinding[sap] = id
+			}
+			return logic, nil
+		},
+	}
+}
+
+func TestPIMValidate(t *testing.T) {
+	if err := testPIM(t).Validate(); err != nil {
+		t.Fatalf("valid PIM rejected: %v", err)
+	}
+	var nilPIM *PIM
+	if err := nilPIM.Validate(); err == nil {
+		t.Fatal("nil PIM accepted")
+	}
+	tests := []struct {
+		name   string
+		mutate func(*PIM)
+	}{
+		{"unnamed", func(p *PIM) { p.Name = "" }},
+		{"no service", func(p *PIM) { p.Service = nil }},
+		{"invalid service", func(p *PIM) { p.Service.Primitives = nil }},
+		{"no concepts", func(p *PIM) { p.Abstract.Requires = nil }},
+		{"no builder", func(p *PIM) { p.Build = nil }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := testPIM(t)
+			tt.mutate(p)
+			if err := p.Validate(); err == nil {
+				t.Fatal("invalid PIM accepted")
+			}
+		})
+	}
+}
+
+func TestPlanTrajectorySteps(t *testing.T) {
+	steps, real, err := PlanTrajectory(testPIM(t), mustPlatform(t, "rpc-rmi-like"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real.Direct {
+		t.Fatal("RMI-like should need recursion for async-message")
+	}
+	wantOrder := []Milestone{
+		MilestoneServiceDefinition,
+		MilestonePIServiceDesign,
+		MilestonePlatformSelection,
+		MilestoneAbstractRealization,
+		MilestonePSI,
+	}
+	if len(steps) != len(wantOrder) {
+		t.Fatalf("steps = %d, want %d", len(steps), len(wantOrder))
+	}
+	for i, m := range wantOrder {
+		if steps[i].Milestone != m {
+			t.Fatalf("step %d = %s, want %s", i, steps[i].Milestone, m)
+		}
+		if steps[i].Detail == "" {
+			t.Fatalf("step %d has no detail", i)
+		}
+	}
+	if !strings.Contains(steps[3].Detail, "async-over-sync") {
+		t.Fatalf("realization step detail = %q", steps[3].Detail)
+	}
+}
+
+func TestPlanTrajectoryRejectsInvalidPIM(t *testing.T) {
+	p := testPIM(t)
+	p.Build = nil
+	if _, _, err := PlanTrajectory(p, mustPlatform(t, "rpc-corba-like")); err == nil {
+		t.Fatal("invalid PIM planned")
+	}
+}
+
+func TestPlanTrajectoryUnrealizable(t *testing.T) {
+	p := testPIM(t)
+	p.Abstract.Requires = []Concept{ConceptQueueing}
+	if _, _, err := PlanTrajectory(p, mustPlatform(t, "rpc-rmi-like")); !errors.Is(err, ErrUnrealizable) {
+		t.Fatalf("err = %v, want ErrUnrealizable", err)
+	}
+}

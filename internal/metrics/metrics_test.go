@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.P50() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram should answer zeros")
+	}
+	if !strings.Contains(h.Summary(), "n=0") {
+		t.Fatalf("Summary = %q", h.Summary())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{3, 1, 2, 5, 4} {
+		h.Add(d * time.Millisecond)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 3*time.Millisecond {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.P50() != 3*time.Millisecond {
+		t.Fatalf("P50 = %v", h.P50())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 5*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramAddAfterQuery(t *testing.T) {
+	var h Histogram
+	h.Add(10 * time.Millisecond)
+	_ = h.P50()
+	h.Add(time.Millisecond)
+	if h.Min() != time.Millisecond {
+		t.Fatal("sample added after query lost")
+	}
+}
+
+func TestQuantileClamps(t *testing.T) {
+	var h Histogram
+	h.Add(1)
+	h.Add(2)
+	if h.Quantile(-1) != h.Min() {
+		t.Fatal("q<0 should clamp to min")
+	}
+	if h.Quantile(2) != h.Max() {
+		t.Fatal("q>1 should clamp to max")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestPropertyQuantileMonotone(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Add(time.Duration(v) * time.Microsecond)
+		}
+		prev := time.Duration(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := h.Quantile(q)
+			if v < prev || v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Figure X", "solution", "msgs", "latency")
+	tb.AddRow("callback", "120", "4ms")
+	tb.AddRow("polling", "2400", "55ms")
+	out := tb.String()
+	for _, want := range []string{"Figure X", "solution", "callback", "2400", "----"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("1")
+	tb.AddRow("1", "2", "3")
+	out := tb.String()
+	if !strings.Contains(out, "3") {
+		t.Fatalf("extra cell dropped:\n%s", out)
+	}
+}
+
+func TestJain(t *testing.T) {
+	if got := Jain(nil); got != 0 {
+		t.Fatalf("Jain(nil) = %v", got)
+	}
+	if got := Jain([]float64{0, 0}); got != 0 {
+		t.Fatalf("Jain(zeros) = %v", got)
+	}
+	if got := Jain([]float64{5, 5, 5, 5}); got != 1 {
+		t.Fatalf("Jain(equal) = %v, want 1", got)
+	}
+	skewed := Jain([]float64{10, 0, 0, 0})
+	if skewed < 0.24 || skewed > 0.26 {
+		t.Fatalf("Jain(max skew over 4) = %v, want 0.25", skewed)
+	}
+	mid := Jain([]float64{4, 6})
+	if mid <= skewed || mid >= 1 {
+		t.Fatalf("Jain(mild skew) = %v, want between", mid)
+	}
+}

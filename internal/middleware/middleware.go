@@ -1,0 +1,309 @@
+// Package middleware implements the middleware-centred (distributed
+// computing) paradigm of the paper's §3: "system parts interact through a
+// limited set of interaction patterns offered by a middleware platform."
+//
+// The Platform offers four interaction patterns — request/response (RPC),
+// one-way message passing, named message queues, and publish/subscribe
+// events — gated by a Profile that models a concrete platform class
+// (CORBA-like, RMI-like, JMS-like, MQ-like; the leaves of the paper's
+// Figure 10 trajectory). Components are registered objects addressed by
+// reference; invocations are marshalled with internal/codec and carried by
+// an *implicit wire protocol* over a protocol.LowerService, which realizes
+// the paper's observation that "the middleware-centred paradigm is somehow
+// dependent on the protocol-centred paradigm: ... the middleware
+// 'transforms' the interactions into (implicit) protocols."
+package middleware
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// Errors reported by platform operations.
+var (
+	ErrPatternUnsupported = errors.New("middleware: interaction pattern not supported by platform profile")
+	ErrUnknownObject      = errors.New("middleware: unknown object reference")
+	ErrDuplicateObject    = errors.New("middleware: object reference already registered")
+	ErrUnknownQueue       = errors.New("middleware: unknown queue")
+	ErrDuplicateQueue     = errors.New("middleware: queue already declared")
+	ErrUnknownOperation   = errors.New("middleware: unknown operation")
+	ErrCallTimeout        = errors.New("middleware: call timed out")
+	ErrRemote             = errors.New("middleware: remote exception")
+)
+
+// Pattern enumerates the interaction patterns a middleware platform may
+// offer (§3: "request/response, message passing and message queues", plus
+// event sources and sinks).
+type Pattern int
+
+// Interaction patterns.
+const (
+	PatternRPC Pattern = iota + 1
+	PatternOneway
+	PatternQueue
+	PatternPubSub
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case PatternRPC:
+		return "rpc"
+	case PatternOneway:
+		return "oneway"
+	case PatternQueue:
+		return "queue"
+	case PatternPubSub:
+		return "pubsub"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Addr is a hosting location on the simulated network.
+type Addr = protocol.Addr
+
+// ObjRef names a registered component object, platform-wide.
+type ObjRef string
+
+// Reply delivers the outcome of an RPC dispatch back to the platform. A
+// nil error with a nil result is valid (void operation).
+type Reply func(result codec.Record, err error)
+
+// Object is a component's dispatch interface: the platform invokes
+// operations by name. Dispatch may reply asynchronously (it is given the
+// reply continuation), which lets components implement callback-style
+// coordination such as deferred grants.
+type Object interface {
+	Dispatch(op string, args codec.Record, reply Reply)
+}
+
+// ObjectFunc adapts a function to the Object interface.
+type ObjectFunc func(op string, args codec.Record, reply Reply)
+
+// Dispatch implements Object.
+func (f ObjectFunc) Dispatch(op string, args codec.Record, reply Reply) { f(op, args, reply) }
+
+// Profile models a concrete middleware platform class: which interaction
+// patterns it offers and its per-interaction overhead. Profiles are what
+// the MDA engine's concrete-platform definitions point at.
+type Profile struct {
+	Name string
+	// Patterns supported by this platform class.
+	Patterns []Pattern
+	// DispatchOverhead is added (virtual time) to every dispatched
+	// interaction, modelling marshalling/demultiplexing cost.
+	DispatchOverhead time.Duration
+	// CallTimeout bounds RPC completion; zero disables timeouts.
+	CallTimeout time.Duration
+}
+
+// Supports reports whether the profile offers the pattern.
+func (p Profile) Supports(pattern Pattern) bool {
+	for _, x := range p.Patterns {
+		if x == pattern {
+			return true
+		}
+	}
+	return false
+}
+
+// Predefined platform profiles: the concrete platforms at the leaves of
+// the paper's Figure 10 ("CORBA, JavaRMI" under RPC-based; "MQSeries, JMS"
+// under asynchronous messaging).
+var (
+	// ProfileCORBALike: full-featured object middleware — RPC, oneway and
+	// events (CORBA Notification-style).
+	ProfileCORBALike = Profile{
+		Name:             "rpc-corba-like",
+		Patterns:         []Pattern{PatternRPC, PatternOneway, PatternPubSub},
+		DispatchOverhead: 200 * time.Microsecond,
+	}
+	// ProfileRMILike: synchronous remote invocation only.
+	ProfileRMILike = Profile{
+		Name:             "rpc-rmi-like",
+		Patterns:         []Pattern{PatternRPC},
+		DispatchOverhead: 150 * time.Microsecond,
+	}
+	// ProfileJMSLike: message-oriented — queues and topics, no RPC.
+	ProfileJMSLike = Profile{
+		Name:             "msg-jms-like",
+		Patterns:         []Pattern{PatternOneway, PatternQueue, PatternPubSub},
+		DispatchOverhead: 120 * time.Microsecond,
+	}
+	// ProfileMQLike: store-and-forward queues only.
+	ProfileMQLike = Profile{
+		Name:             "queue-mq-like",
+		Patterns:         []Pattern{PatternQueue},
+		DispatchOverhead: 100 * time.Microsecond,
+	}
+)
+
+// Profiles returns all predefined profiles in trajectory order.
+func Profiles() []Profile {
+	return []Profile{ProfileCORBALike, ProfileRMILike, ProfileJMSLike, ProfileMQLike}
+}
+
+// ProfileByName looks a predefined profile up by name.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Stats counts platform work per pattern plus wire totals.
+type Stats struct {
+	Calls        uint64
+	Replies      uint64
+	Oneways      uint64
+	QueuePuts    uint64
+	QueueDeliver uint64
+	Publishes    uint64
+	EventDeliver uint64
+	Timeouts     uint64
+	WireMessages uint64
+	WireBytes    uint64
+}
+
+// registration is a hosted object.
+type registration struct {
+	node Addr
+	obj  Object
+}
+
+// pendingCall tracks an outstanding RPC at the caller side.
+type pendingCall struct {
+	cont  func(codec.Record, error)
+	timer *sim.Timer
+}
+
+type queueState struct {
+	// consumers in subscription order; delivery is round-robin.
+	consumers []queueConsumer
+	nextRR    int
+	// backlog holds messages put before any consumer subscribed.
+	backlog []codec.Message
+}
+
+type queueConsumer struct {
+	node Addr
+	fn   func(codec.Message)
+}
+
+type topicState struct {
+	subs []queueConsumer
+}
+
+// Platform is a simulated middleware platform instance spanning the
+// network. Create one with New, register component objects with Register,
+// and interact through the pattern methods.
+type Platform struct {
+	kernel    *sim.Kernel
+	transport protocol.LowerService
+	profile   Profile
+	broker    Addr
+
+	mu       sync.Mutex
+	objects  map[ObjRef]registration
+	runtimes map[Addr]struct{}
+	pending  map[uint64]pendingCall
+	nextCall uint64
+	queues   map[string]*queueState
+	topics   map[string]*topicState
+	stats    Stats
+}
+
+// New creates a platform over transport. The broker address hosts the
+// platform's queue/topic broker; it is attached lazily on first use.
+func New(kernel *sim.Kernel, transport protocol.LowerService, profile Profile, broker Addr) *Platform {
+	return &Platform{
+		kernel:    kernel,
+		transport: transport,
+		profile:   profile,
+		broker:    broker,
+		objects:   make(map[ObjRef]registration),
+		runtimes:  make(map[Addr]struct{}),
+		pending:   make(map[uint64]pendingCall),
+		queues:    make(map[string]*queueState),
+		topics:    make(map[string]*topicState),
+	}
+}
+
+// Profile returns the platform's profile.
+func (p *Platform) Profile() Profile { return p.profile }
+
+// Kernel returns the simulation kernel.
+func (p *Platform) Kernel() *sim.Kernel { return p.kernel }
+
+// Stats returns a snapshot of platform counters.
+func (p *Platform) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ensureRuntime attaches the platform's wire-protocol receiver on a node.
+// Caller must NOT hold p.mu.
+func (p *Platform) ensureRuntime(node Addr) error {
+	p.mu.Lock()
+	if _, ok := p.runtimes[node]; ok {
+		p.mu.Unlock()
+		return nil
+	}
+	p.runtimes[node] = struct{}{}
+	p.mu.Unlock()
+	if err := p.transport.Attach(node, func(src Addr, data []byte) { p.onWire(src, node, data) }); err != nil {
+		return fmt.Errorf("middleware: attach runtime at %q: %w", node, err)
+	}
+	return nil
+}
+
+// Register hosts obj at node under ref.
+func (p *Platform) Register(ref ObjRef, node Addr, obj Object) error {
+	if obj == nil {
+		return fmt.Errorf("middleware: nil object for %q", ref)
+	}
+	if err := p.ensureRuntime(node); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.objects[ref]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateObject, ref)
+	}
+	p.objects[ref] = registration{node: node, obj: obj}
+	return nil
+}
+
+// Resolve reports the hosting node of an object reference — the naming
+// service every middleware provides.
+func (p *Platform) Resolve(ref ObjRef) (Addr, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	reg, ok := p.objects[ref]
+	return reg.node, ok
+}
+
+// send marshals and transmits one wire message, counting it.
+func (p *Platform) send(from, to Addr, msg codec.Message) error {
+	data, err := codec.EncodeMessage(msg)
+	if err != nil {
+		return fmt.Errorf("middleware: marshal %q: %w", msg.Name, err)
+	}
+	p.mu.Lock()
+	p.stats.WireMessages++
+	p.stats.WireBytes += uint64(len(data))
+	p.mu.Unlock()
+	if err := p.transport.Send(from, to, data); err != nil {
+		return fmt.Errorf("middleware: wire send %s→%s: %w", from, to, err)
+	}
+	return nil
+}

@@ -1,0 +1,443 @@
+package middleware
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// newPlatform builds a platform over a reliable transport on a lossless
+// 1ms network.
+func newPlatform(t testing.TB, profile Profile, lossRate float64) (*sim.Kernel, *Platform) {
+	t.Helper()
+	k := sim.NewKernel(sim.WithSeed(5))
+	net := network.New(k, network.WithDefaultLink(network.LinkConfig{
+		Latency:  time.Millisecond,
+		LossRate: lossRate,
+	}))
+	transport := protocol.NewReliableDatagram(k, protocol.NewUnreliableDatagram(net), protocol.ReliableDatagramConfig{})
+	return k, New(k, transport, profile, "mw-broker")
+}
+
+// echoObject replies with its arguments plus a marker.
+func echoObject() Object {
+	return ObjectFunc(func(op string, args codec.Record, reply Reply) {
+		if op != "echo" {
+			reply(nil, fmt.Errorf("%w: %q", ErrUnknownOperation, op))
+			return
+		}
+		out := codec.Record{"echoed": true}
+		for k, v := range args {
+			out[k] = v
+		}
+		reply(out, nil)
+	})
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	k, p := newPlatform(t, ProfileCORBALike, 0)
+	if err := p.Register("server", "node-s", echoObject()); err != nil {
+		t.Fatal(err)
+	}
+	var result codec.Record
+	var callErr error
+	err := p.Invoke("node-c", "server", "echo", codec.Record{"x": int64(7)}, func(r codec.Record, e error) {
+		result, callErr = r, e
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if callErr != nil {
+		t.Fatalf("call error: %v", callErr)
+	}
+	if result["x"] != int64(7) || result["echoed"] != true {
+		t.Fatalf("result = %v", result)
+	}
+	st := p.Stats()
+	if st.Calls != 1 || st.Replies != 1 || st.WireMessages < 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRPCRemoteError(t *testing.T) {
+	k, p := newPlatform(t, ProfileRMILike, 0)
+	if err := p.Register("server", "node-s", echoObject()); err != nil {
+		t.Fatal(err)
+	}
+	var callErr error
+	if err := p.Invoke("node-c", "server", "explode", nil, func(_ codec.Record, e error) { callErr = e }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(callErr, ErrRemote) {
+		t.Fatalf("callErr = %v, want ErrRemote", callErr)
+	}
+}
+
+func TestRPCUnknownObject(t *testing.T) {
+	_, p := newPlatform(t, ProfileRMILike, 0)
+	err := p.Invoke("node-c", "ghost", "op", nil, nil)
+	if !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("err = %v, want ErrUnknownObject", err)
+	}
+}
+
+func TestRPCDeferredReply(t *testing.T) {
+	// The callback-based floor controller replies *later*; verify deferred
+	// replies work.
+	k, p := newPlatform(t, ProfileCORBALike, 0)
+	var saved Reply
+	deferred := ObjectFunc(func(op string, args codec.Record, reply Reply) {
+		saved = reply // grant later
+	})
+	if err := p.Register("ctrl", "node-s", deferred); err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	if err := p.Invoke("node-c", "ctrl", "request", nil, func(codec.Record, error) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done {
+		t.Fatal("reply before controller granted")
+	}
+	saved(codec.Record{"ok": true}, nil)
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("deferred reply never arrived")
+	}
+}
+
+func TestRPCTimeout(t *testing.T) {
+	profile := ProfileRMILike
+	profile.CallTimeout = 10 * time.Millisecond
+	k, p := newPlatform(t, profile, 0)
+	// Object that never replies.
+	if err := p.Register("hang", "node-s", ObjectFunc(func(string, codec.Record, Reply) {})); err != nil {
+		t.Fatal(err)
+	}
+	var callErr error
+	if err := p.Invoke("node-c", "hang", "op", nil, func(_ codec.Record, e error) { callErr = e }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(callErr, ErrCallTimeout) {
+		t.Fatalf("callErr = %v, want ErrCallTimeout", callErr)
+	}
+	if p.Stats().Timeouts != 1 {
+		t.Fatalf("stats = %+v", p.Stats())
+	}
+}
+
+func TestPatternGating(t *testing.T) {
+	_, p := newPlatform(t, ProfileMQLike, 0) // queues only
+	if err := p.Invoke("c", "x", "op", nil, nil); !errors.Is(err, ErrPatternUnsupported) {
+		t.Fatalf("Invoke err = %v", err)
+	}
+	if err := p.InvokeOneway("c", "x", "op", nil); !errors.Is(err, ErrPatternUnsupported) {
+		t.Fatalf("Oneway err = %v", err)
+	}
+	if err := p.Publish("c", "t", codec.NewMessage("m", nil)); !errors.Is(err, ErrPatternUnsupported) {
+		t.Fatalf("Publish err = %v", err)
+	}
+	if err := p.SubscribeTopic("t", "c", func(codec.Message) {}); !errors.Is(err, ErrPatternUnsupported) {
+		t.Fatalf("SubscribeTopic err = %v", err)
+	}
+	_, pq := newPlatform(t, ProfileRMILike, 0) // rpc only
+	if err := pq.QueueDeclare("q"); !errors.Is(err, ErrPatternUnsupported) {
+		t.Fatalf("QueueDeclare err = %v", err)
+	}
+	if err := pq.QueuePut("c", "q", codec.NewMessage("m", nil)); !errors.Is(err, ErrPatternUnsupported) {
+		t.Fatalf("QueuePut err = %v", err)
+	}
+	if err := pq.QueueSubscribe("q", "c", func(codec.Message) {}); !errors.Is(err, ErrPatternUnsupported) {
+		t.Fatalf("QueueSubscribe err = %v", err)
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	_, p := newPlatform(t, ProfileCORBALike, 0)
+	if err := p.Register("x", "n", nil); err == nil {
+		t.Fatal("nil object accepted")
+	}
+	if err := p.Register("x", "n", echoObject()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Register("x", "n2", echoObject()); !errors.Is(err, ErrDuplicateObject) {
+		t.Fatalf("err = %v, want ErrDuplicateObject", err)
+	}
+	if node, ok := p.Resolve("x"); !ok || node != "n" {
+		t.Fatalf("Resolve = %v, %v", node, ok)
+	}
+	if _, ok := p.Resolve("ghost"); ok {
+		t.Fatal("ghost resolved")
+	}
+}
+
+func TestOneway(t *testing.T) {
+	k, p := newPlatform(t, ProfileJMSLike, 0)
+	var got []string
+	sink := ObjectFunc(func(op string, args codec.Record, _ Reply) {
+		got = append(got, fmt.Sprintf("%s:%v", op, args["v"]))
+	})
+	if err := p.Register("sink", "node-s", sink); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.InvokeOneway("node-c", "sink", "put", codec.Record{"v": int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "put:0" || got[2] != "put:2" {
+		t.Fatalf("got %v", got)
+	}
+	if p.Stats().Oneways != 3 {
+		t.Fatalf("stats = %+v", p.Stats())
+	}
+}
+
+func TestQueueRoundRobinDelivery(t *testing.T) {
+	k, p := newPlatform(t, ProfileJMSLike, 0)
+	if err := p.QueueDeclare("jobs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.QueueDeclare("jobs"); !errors.Is(err, ErrDuplicateQueue) {
+		t.Fatalf("err = %v, want ErrDuplicateQueue", err)
+	}
+	var c1, c2 []string
+	if err := p.QueueSubscribe("jobs", "w1", func(m codec.Message) { c1 = append(c1, m.Name) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.QueueSubscribe("jobs", "w2", func(m codec.Message) { c2 = append(c2, m.Name) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := p.QueuePut("prod", "jobs", codec.NewMessage(fmt.Sprintf("job-%d", i), nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c1)+len(c2) != 6 {
+		t.Fatalf("delivered %d+%d, want 6 total", len(c1), len(c2))
+	}
+	if len(c1) != 3 || len(c2) != 3 {
+		t.Fatalf("round robin skewed: %d vs %d", len(c1), len(c2))
+	}
+	st := p.Stats()
+	if st.QueuePuts != 6 || st.QueueDeliver != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQueueBacklogBeforeSubscribe(t *testing.T) {
+	k, p := newPlatform(t, ProfileMQLike, 0)
+	if err := p.QueueDeclare("q"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.QueuePut("prod", "q", codec.NewMessage("early", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if err := p.QueueSubscribe("q", "w", func(m codec.Message) { got = append(got, m.Name) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "early" {
+		t.Fatalf("backlog delivery = %v", got)
+	}
+}
+
+func TestQueueUnknown(t *testing.T) {
+	_, p := newPlatform(t, ProfileMQLike, 0)
+	if err := p.QueuePut("c", "nope", codec.NewMessage("m", nil)); !errors.Is(err, ErrUnknownQueue) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := p.QueueSubscribe("nope", "c", func(codec.Message) {}); !errors.Is(err, ErrUnknownQueue) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := p.QueueSubscribe("nope", "c", nil); err == nil {
+		t.Fatal("nil consumer accepted")
+	}
+}
+
+func TestPubSubFanout(t *testing.T) {
+	k, p := newPlatform(t, ProfileCORBALike, 0)
+	var got1, got2 []string
+	if err := p.SubscribeTopic("news", "n1", func(m codec.Message) { got1 = append(got1, m.Name) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SubscribeTopic("news", "n2", func(m codec.Message) { got2 = append(got2, m.Name) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Publish("pub", "news", codec.NewMessage("flash", codec.Record{"k": "v"})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got1) != 1 || len(got2) != 1 {
+		t.Fatalf("fanout = %v / %v", got1, got2)
+	}
+	st := p.Stats()
+	if st.Publishes != 1 || st.EventDeliver != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPubSubNilSink(t *testing.T) {
+	_, p := newPlatform(t, ProfileCORBALike, 0)
+	if err := p.SubscribeTopic("t", "n", nil); err == nil {
+		t.Fatal("nil sink accepted")
+	}
+}
+
+func TestRPCOverLossyNetwork(t *testing.T) {
+	// The reliable transport must mask 30% loss entirely.
+	k, p := newPlatform(t, ProfileCORBALike, 0.3)
+	if err := p.Register("server", "node-s", echoObject()); err != nil {
+		t.Fatal(err)
+	}
+	completed := 0
+	for i := 0; i < 20; i++ {
+		err := p.Invoke("node-c", "server", "echo", codec.Record{"i": int64(i)}, func(r codec.Record, e error) {
+			if e == nil {
+				completed++
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if completed != 20 {
+		t.Fatalf("completed %d of 20 over lossy-but-reliable transport", completed)
+	}
+}
+
+func TestDispatchOverheadAddsLatency(t *testing.T) {
+	profile := ProfileRMILike
+	profile.DispatchOverhead = 5 * time.Millisecond
+	k, p := newPlatform(t, profile, 0)
+	if err := p.Register("server", "node-s", echoObject()); err != nil {
+		t.Fatal(err)
+	}
+	var when time.Duration
+	if err := p.Invoke("node-c", "server", "echo", nil, func(codec.Record, error) { when = k.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 2 × 1ms wire + 2 × 5ms dispatch = at least 12ms.
+	if when < 12*time.Millisecond {
+		t.Fatalf("reply at %v, want >= 12ms with overhead", when)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, want := range Profiles() {
+		got, ok := ProfileByName(want.Name)
+		if !ok || got.Name != want.Name {
+			t.Fatalf("ProfileByName(%q) = %+v, %v", want.Name, got, ok)
+		}
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Fatal("unknown profile found")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	for p, want := range map[Pattern]string{
+		PatternRPC: "rpc", PatternOneway: "oneway", PatternQueue: "queue", PatternPubSub: "pubsub",
+	} {
+		if p.String() != want {
+			t.Fatalf("Pattern %d = %q, want %q", int(p), p.String(), want)
+		}
+	}
+	if Pattern(42).String() != "Pattern(42)" {
+		t.Fatal("unknown pattern string")
+	}
+}
+
+func BenchmarkRPCRoundTrip(b *testing.B) {
+	b.ReportAllocs()
+	k, p := newPlatform(b, ProfileRMILike, 0)
+	if err := p.Register("server", "node-s", echoObject()); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		done := false
+		if err := p.Invoke("node-c", "server", "echo", codec.Record{"i": int64(i)}, func(codec.Record, error) { done = true }); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if !done {
+			b.Fatal("call incomplete")
+		}
+	}
+}
+
+// TestPlatformOverStreamTransport runs the platform over the full §4.2
+// stack: unreliable datagrams → reliable datagrams → octet stream →
+// framed PDUs. The middleware is oblivious to the four layers beneath it.
+func TestPlatformOverStreamTransport(t *testing.T) {
+	k := sim.NewKernel(sim.WithSeed(13))
+	net := network.New(k, network.WithDefaultLink(network.LinkConfig{
+		Latency:  time.Millisecond,
+		LossRate: 0.2,
+	}))
+	transport := protocol.NewStreamTransport(k, protocol.NewUnreliableDatagram(net),
+		protocol.ReliableDatagramConfig{}, protocol.StreamConfig{ChunkSize: 32})
+	p := New(k, transport, ProfileCORBALike, "broker")
+	if err := p.Register("server", "node-s", echoObject()); err != nil {
+		t.Fatal(err)
+	}
+	completed := 0
+	for i := 0; i < 10; i++ {
+		err := p.Invoke("node-c", "server", "echo", codec.Record{"i": int64(i)}, func(r codec.Record, e error) {
+			if e == nil {
+				completed++
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if completed != 10 {
+		t.Fatalf("completed %d of 10 over the stream transport", completed)
+	}
+}

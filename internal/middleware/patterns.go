@@ -1,0 +1,440 @@
+package middleware
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+)
+
+// Invoke performs a request/response interaction (the RPC pattern): the
+// operation is marshalled, carried to the object's hosting node by the
+// implicit wire protocol, dispatched, and the reply returned to cont. The
+// caller's identity is the node it invokes from, matching the paper's
+// remote-invocation component middleware of §4.1.
+//
+// Invoke is asynchronous in virtual time (the simulation has no blocking);
+// cont runs when the reply arrives, or with ErrCallTimeout if the profile
+// sets a timeout that expires first.
+func (p *Platform) Invoke(from Addr, target ObjRef, op string, args codec.Record, cont func(codec.Record, error)) error {
+	if !p.profile.Supports(PatternRPC) {
+		return fmt.Errorf("%w: %s on %q", ErrPatternUnsupported, PatternRPC, p.profile.Name)
+	}
+	if cont == nil {
+		cont = func(codec.Record, error) {}
+	}
+	if err := p.ensureRuntime(from); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	reg, ok := p.objects[target]
+	if !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownObject, target)
+	}
+	p.nextCall++
+	id := p.nextCall
+	pc := pendingCall{cont: cont}
+	if p.profile.CallTimeout > 0 {
+		pc.timer = p.kernel.Schedule(p.profile.CallTimeout, func() { p.onCallTimeout(id) })
+	}
+	p.pending[id] = pc
+	p.stats.Calls++
+	p.mu.Unlock()
+
+	msg := codec.NewMessage("mw.call", codec.Record{
+		"id":     id,
+		"target": string(target),
+		"op":     op,
+		"args":   codec.Record(args),
+	})
+	if err := p.send(from, reg.node, msg); err != nil {
+		p.mu.Lock()
+		if pc, ok := p.pending[id]; ok {
+			if pc.timer != nil {
+				pc.timer.Cancel()
+			}
+			delete(p.pending, id)
+		}
+		p.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+func (p *Platform) onCallTimeout(id uint64) {
+	p.mu.Lock()
+	pc, ok := p.pending[id]
+	if ok {
+		delete(p.pending, id)
+		p.stats.Timeouts++
+	}
+	p.mu.Unlock()
+	if ok {
+		pc.cont(nil, fmt.Errorf("%w: call %d", ErrCallTimeout, id))
+	}
+}
+
+// InvokeOneway performs fire-and-forget message passing to an object's
+// operation: no reply, no delivery confirmation to the caller.
+func (p *Platform) InvokeOneway(from Addr, target ObjRef, op string, args codec.Record) error {
+	if !p.profile.Supports(PatternOneway) {
+		return fmt.Errorf("%w: %s on %q", ErrPatternUnsupported, PatternOneway, p.profile.Name)
+	}
+	if err := p.ensureRuntime(from); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	reg, ok := p.objects[target]
+	if !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownObject, target)
+	}
+	p.stats.Oneways++
+	p.mu.Unlock()
+	msg := codec.NewMessage("mw.oneway", codec.Record{
+		"target": string(target),
+		"op":     op,
+		"args":   codec.Record(args),
+	})
+	return p.send(from, reg.node, msg)
+}
+
+// QueueDeclare creates a named queue at the platform broker.
+func (p *Platform) QueueDeclare(name string) error {
+	if !p.profile.Supports(PatternQueue) {
+		return fmt.Errorf("%w: %s on %q", ErrPatternUnsupported, PatternQueue, p.profile.Name)
+	}
+	if err := p.ensureRuntime(p.broker); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.queues[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateQueue, name)
+	}
+	p.queues[name] = &queueState{}
+	return nil
+}
+
+// QueuePut enqueues a message. The message travels to the broker node on
+// the wire, then onward to one consumer (round-robin among subscribers),
+// modelling point-to-point MOM semantics.
+func (p *Platform) QueuePut(from Addr, queue string, m codec.Message) error {
+	if !p.profile.Supports(PatternQueue) {
+		return fmt.Errorf("%w: %s on %q", ErrPatternUnsupported, PatternQueue, p.profile.Name)
+	}
+	if err := p.ensureRuntime(from); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if _, ok := p.queues[queue]; !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownQueue, queue)
+	}
+	p.stats.QueuePuts++
+	p.mu.Unlock()
+	wire := codec.NewMessage("mw.enqueue", codec.Record{
+		"queue":  queue,
+		"name":   m.Name,
+		"fields": codec.Record(m.Fields),
+	})
+	return p.send(from, p.broker, wire)
+}
+
+// QueueSubscribe adds a consumer for a queue. Each message goes to exactly
+// one consumer; multiple consumers share the queue round-robin. Messages
+// put before any subscription are retained and delivered on first
+// subscribe.
+func (p *Platform) QueueSubscribe(queue string, node Addr, fn func(codec.Message)) error {
+	if !p.profile.Supports(PatternQueue) {
+		return fmt.Errorf("%w: %s on %q", ErrPatternUnsupported, PatternQueue, p.profile.Name)
+	}
+	if fn == nil {
+		return fmt.Errorf("middleware: nil consumer for queue %q", queue)
+	}
+	if err := p.ensureRuntime(node); err != nil {
+		return err
+	}
+	if err := p.ensureRuntime(p.broker); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	q, ok := p.queues[queue]
+	if !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownQueue, queue)
+	}
+	q.consumers = append(q.consumers, queueConsumer{node: node, fn: fn})
+	backlog := q.backlog
+	q.backlog = nil
+	p.mu.Unlock()
+	for _, m := range backlog {
+		p.deliverQueued(queue, m)
+	}
+	return nil
+}
+
+// deliverQueued routes one queued message from the broker to the next
+// consumer.
+func (p *Platform) deliverQueued(queue string, m codec.Message) {
+	p.mu.Lock()
+	q, ok := p.queues[queue]
+	if !ok {
+		p.mu.Unlock()
+		return
+	}
+	if len(q.consumers) == 0 {
+		q.backlog = append(q.backlog, m)
+		p.mu.Unlock()
+		return
+	}
+	c := q.consumers[q.nextRR%len(q.consumers)]
+	q.nextRR++
+	p.stats.QueueDeliver++
+	p.mu.Unlock()
+	wire := codec.NewMessage("mw.deliver", codec.Record{
+		"queue":  queue,
+		"name":   m.Name,
+		"fields": codec.Record(m.Fields),
+	})
+	_ = p.send(p.broker, c.node, wire) //nolint:errcheck // broker delivery failure = message loss, acceptable for MOM sim
+}
+
+// Publish sends a message to every subscriber of a topic (event
+// source/sink pattern).
+func (p *Platform) Publish(from Addr, topic string, m codec.Message) error {
+	if !p.profile.Supports(PatternPubSub) {
+		return fmt.Errorf("%w: %s on %q", ErrPatternUnsupported, PatternPubSub, p.profile.Name)
+	}
+	if err := p.ensureRuntime(from); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.stats.Publishes++
+	p.mu.Unlock()
+	wire := codec.NewMessage("mw.publish", codec.Record{
+		"topic":  topic,
+		"name":   m.Name,
+		"fields": codec.Record(m.Fields),
+	})
+	return p.send(from, p.broker, wire)
+}
+
+// SubscribeTopic registers an event sink for a topic.
+func (p *Platform) SubscribeTopic(topic string, node Addr, fn func(codec.Message)) error {
+	if !p.profile.Supports(PatternPubSub) {
+		return fmt.Errorf("%w: %s on %q", ErrPatternUnsupported, PatternPubSub, p.profile.Name)
+	}
+	if fn == nil {
+		return fmt.Errorf("middleware: nil sink for topic %q", topic)
+	}
+	if err := p.ensureRuntime(node); err != nil {
+		return err
+	}
+	if err := p.ensureRuntime(p.broker); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := p.topics[topic]
+	if t == nil {
+		t = &topicState{}
+		p.topics[topic] = t
+	}
+	t.subs = append(t.subs, queueConsumer{node: node, fn: fn})
+	return nil
+}
+
+// onWire is the platform runtime's receive path at a node: it demarshals
+// the implicit protocol and dispatches per message type.
+func (p *Platform) onWire(src, at Addr, data []byte) {
+	msg, err := codec.DecodeMessage(data)
+	if err != nil {
+		return // corrupt wire message: drop
+	}
+	overhead := p.profile.DispatchOverhead
+	handle := func() { p.handleWire(src, at, msg) }
+	if overhead > 0 {
+		p.kernel.Schedule(overhead, handle)
+	} else {
+		handle()
+	}
+}
+
+func (p *Platform) handleWire(src, at Addr, msg codec.Message) {
+	switch msg.Name {
+	case "mw.call":
+		p.handleCall(src, at, msg)
+	case "mw.reply":
+		p.handleReply(msg)
+	case "mw.oneway":
+		p.handleOneway(at, msg)
+	case "mw.enqueue":
+		p.handleEnqueue(msg)
+	case "mw.deliver":
+		p.handleDeliver(at, msg)
+	case "mw.publish":
+		p.handlePublish(msg)
+	case "mw.event":
+		p.handleEvent(at, msg)
+	}
+}
+
+// lookupLocal finds the object registration for a wire message's target,
+// verifying it is hosted at the receiving node.
+func (p *Platform) lookupLocal(at Addr, msg codec.Message) (Object, string, codec.Record, bool) {
+	targetV, _ := msg.Get("target")
+	opV, _ := msg.Get("op")
+	argsV, _ := msg.Get("args")
+	target, _ := targetV.(string)
+	op, _ := opV.(string)
+	args, _ := argsV.(map[string]codec.Value)
+	p.mu.Lock()
+	reg, ok := p.objects[ObjRef(target)]
+	p.mu.Unlock()
+	if !ok || reg.node != at {
+		return nil, "", nil, false
+	}
+	return reg.obj, op, args, true
+}
+
+func (p *Platform) handleCall(src, at Addr, msg codec.Message) {
+	idV, _ := msg.Get("id")
+	id, _ := idV.(uint64)
+	obj, op, args, ok := p.lookupLocal(at, msg)
+	if !ok {
+		reply := codec.NewMessage("mw.reply", codec.Record{
+			"id": id, "error": "unknown object at node",
+		})
+		_ = p.send(at, src, reply) //nolint:errcheck
+		return
+	}
+	obj.Dispatch(op, args, func(result codec.Record, err error) {
+		fields := codec.Record{"id": id}
+		if err != nil {
+			fields["error"] = err.Error()
+		} else {
+			if result == nil {
+				result = codec.Record{}
+			}
+			fields["result"] = codec.Record(result)
+		}
+		p.mu.Lock()
+		p.stats.Replies++
+		p.mu.Unlock()
+		_ = p.send(at, src, codec.NewMessage("mw.reply", fields)) //nolint:errcheck
+	})
+}
+
+func (p *Platform) handleReply(msg codec.Message) {
+	idV, _ := msg.Get("id")
+	id, _ := idV.(uint64)
+	p.mu.Lock()
+	pc, ok := p.pending[id]
+	if ok {
+		delete(p.pending, id)
+		if pc.timer != nil {
+			pc.timer.Cancel()
+		}
+	}
+	p.mu.Unlock()
+	if !ok {
+		return // late reply after timeout
+	}
+	if errV, hasErr := msg.Get("error"); hasErr {
+		s, _ := errV.(string)
+		pc.cont(nil, fmt.Errorf("%w: %s", ErrRemote, s))
+		return
+	}
+	resultV, _ := msg.Get("result")
+	result, _ := resultV.(map[string]codec.Value)
+	pc.cont(result, nil)
+}
+
+func (p *Platform) handleOneway(at Addr, msg codec.Message) {
+	obj, op, args, ok := p.lookupLocal(at, msg)
+	if !ok {
+		return
+	}
+	obj.Dispatch(op, args, func(codec.Record, error) {}) // replies discarded
+}
+
+func (p *Platform) handleEnqueue(msg codec.Message) {
+	queueV, _ := msg.Get("queue")
+	queue, _ := queueV.(string)
+	nameV, _ := msg.Get("name")
+	name, _ := nameV.(string)
+	fieldsV, _ := msg.Get("fields")
+	fields, _ := fieldsV.(map[string]codec.Value)
+	p.deliverQueued(queue, codec.NewMessage(name, fields))
+}
+
+func (p *Platform) handleDeliver(at Addr, msg codec.Message) {
+	queueV, _ := msg.Get("queue")
+	queue, _ := queueV.(string)
+	nameV, _ := msg.Get("name")
+	name, _ := nameV.(string)
+	fieldsV, _ := msg.Get("fields")
+	fields, _ := fieldsV.(map[string]codec.Value)
+	p.mu.Lock()
+	q := p.queues[queue]
+	var fn func(codec.Message)
+	if q != nil {
+		for _, c := range q.consumers {
+			if c.node == at {
+				fn = c.fn
+				break
+			}
+		}
+	}
+	p.mu.Unlock()
+	if fn != nil {
+		fn(codec.NewMessage(name, fields))
+	}
+}
+
+func (p *Platform) handlePublish(msg codec.Message) {
+	topicV, _ := msg.Get("topic")
+	topic, _ := topicV.(string)
+	p.mu.Lock()
+	t := p.topics[topic]
+	var subs []queueConsumer
+	if t != nil {
+		subs = append(subs, t.subs...)
+		p.stats.EventDeliver += uint64(len(subs))
+	}
+	p.mu.Unlock()
+	nameV, _ := msg.Get("name")
+	fieldsV, _ := msg.Get("fields")
+	for _, s := range subs {
+		wire := codec.NewMessage("mw.event", codec.Record{
+			"topic":  topic,
+			"name":   nameV,
+			"fields": fieldsV,
+		})
+		_ = p.send(p.broker, s.node, wire) //nolint:errcheck
+	}
+}
+
+func (p *Platform) handleEvent(at Addr, msg codec.Message) {
+	topicV, _ := msg.Get("topic")
+	topic, _ := topicV.(string)
+	nameV, _ := msg.Get("name")
+	name, _ := nameV.(string)
+	fieldsV, _ := msg.Get("fields")
+	fields, _ := fieldsV.(map[string]codec.Value)
+	p.mu.Lock()
+	t := p.topics[topic]
+	var fns []func(codec.Message)
+	if t != nil {
+		for _, s := range t.subs {
+			if s.node == at {
+				fns = append(fns, s.fn)
+			}
+		}
+	}
+	p.mu.Unlock()
+	for _, fn := range fns {
+		fn(codec.NewMessage(name, fields))
+	}
+}

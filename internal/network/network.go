@@ -1,0 +1,285 @@
+// Package network simulates the physical interconnection underlying every
+// experiment in this repository: the "lower level service [that] provides
+// physical interconnection and (reliable or unreliable) data transfer
+// between protocol entities" (paper, §2).
+//
+// The network is a set of named nodes joined by configurable links. A link
+// models latency, jitter, probabilistic loss and duplication, and an
+// optional MTU. Delivery is scheduled on a sim.Kernel, so all behaviour is
+// deterministic for a fixed seed.
+//
+// The service offered at this level is an *unreliable datagram* service:
+// higher layers (internal/protocol) build reliable datagram delivery on top
+// of it, exactly as the protocol-centred paradigm prescribes.
+package network
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Common errors.
+var (
+	ErrUnknownNode   = errors.New("network: unknown node")
+	ErrDuplicateNode = errors.New("network: node already registered")
+	ErrTooLarge      = errors.New("network: payload exceeds link MTU")
+)
+
+// NodeID names a node on the simulated network.
+type NodeID string
+
+// Handler receives datagrams delivered to a node.
+type Handler func(src NodeID, payload []byte)
+
+// LinkConfig describes the behaviour of a directed link.
+type LinkConfig struct {
+	// Latency is the base one-way delay.
+	Latency time.Duration
+	// Jitter adds a uniformly random delay in [0, Jitter). Jitter larger
+	// than the inter-send gap causes reordering, which is intended.
+	Jitter time.Duration
+	// LossRate is the probability in [0,1] that a datagram is dropped.
+	LossRate float64
+	// DuplicateRate is the probability in [0,1] that a datagram is
+	// delivered twice.
+	DuplicateRate float64
+	// MTU, when positive, bounds payload size; larger sends fail with
+	// ErrTooLarge. Zero means unlimited.
+	MTU int
+}
+
+// validate reports configuration errors early rather than at send time.
+func (c LinkConfig) validate() error {
+	if c.Latency < 0 || c.Jitter < 0 {
+		return fmt.Errorf("network: negative latency/jitter (%v/%v)", c.Latency, c.Jitter)
+	}
+	if c.LossRate < 0 || c.LossRate > 1 {
+		return fmt.Errorf("network: loss rate %v out of [0,1]", c.LossRate)
+	}
+	if c.DuplicateRate < 0 || c.DuplicateRate > 1 {
+		return fmt.Errorf("network: duplicate rate %v out of [0,1]", c.DuplicateRate)
+	}
+	if c.MTU < 0 {
+		return fmt.Errorf("network: negative MTU %d", c.MTU)
+	}
+	return nil
+}
+
+// Stats is a snapshot of network-wide counters. Duplicated deliveries count
+// once as sent and twice as delivered.
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	BytesSent uint64
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithDefaultLink sets the link configuration used for node pairs without
+// an explicit SetLink call. The default is 1ms latency, no jitter, no loss.
+func WithDefaultLink(cfg LinkConfig) Option {
+	return func(n *Network) { n.defaultLink = cfg }
+}
+
+// Network is the simulated interconnection fabric. Create one with New.
+type Network struct {
+	kernel      *sim.Kernel
+	defaultLink LinkConfig
+
+	mu        sync.Mutex
+	nodes     map[NodeID]Handler
+	links     map[linkKey]LinkConfig
+	partition map[linkKey]bool
+	stats     Stats
+}
+
+type linkKey struct{ src, dst NodeID }
+
+// New creates a network scheduled on kernel.
+func New(kernel *sim.Kernel, opts ...Option) *Network {
+	n := &Network{
+		kernel:      kernel,
+		defaultLink: LinkConfig{Latency: time.Millisecond},
+		nodes:       make(map[NodeID]Handler),
+		links:       make(map[linkKey]LinkConfig),
+		partition:   make(map[linkKey]bool),
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
+}
+
+// Kernel returns the simulation kernel the network schedules on.
+func (n *Network) Kernel() *sim.Kernel { return n.kernel }
+
+// AddNode registers a node and its delivery handler.
+func (n *Network) AddNode(id NodeID, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("network: nil handler for node %q", id)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[id]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateNode, id)
+	}
+	n.nodes[id] = h
+	return nil
+}
+
+// SetHandler replaces the delivery handler of an existing node.
+func (n *Network) SetHandler(id NodeID, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("network: nil handler for node %q", id)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	n.nodes[id] = h
+	return nil
+}
+
+// Nodes returns the registered node ids in unspecified order.
+func (n *Network) Nodes() []NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// SetLink configures the directed link src→dst.
+func (n *Network) SetLink(src, dst NodeID, cfg LinkConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[linkKey{src, dst}] = cfg
+	return nil
+}
+
+// SetLinkBoth configures both directions between a and b.
+func (n *Network) SetLinkBoth(a, b NodeID, cfg LinkConfig) error {
+	if err := n.SetLink(a, b, cfg); err != nil {
+		return err
+	}
+	return n.SetLink(b, a, cfg)
+}
+
+// Partition cuts (or, with healed=false... see Heal) the directed link
+// src→dst: datagrams are silently dropped, as in a network partition.
+func (n *Network) Partition(src, dst NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition[linkKey{src, dst}] = true
+}
+
+// PartitionBoth cuts both directions between a and b.
+func (n *Network) PartitionBoth(a, b NodeID) {
+	n.Partition(a, b)
+	n.Partition(b, a)
+}
+
+// Heal restores the directed link src→dst after a Partition.
+func (n *Network) Heal(src, dst NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partition, linkKey{src, dst})
+}
+
+// HealBoth restores both directions between a and b.
+func (n *Network) HealBoth(a, b NodeID) {
+	n.Heal(a, b)
+	n.Heal(b, a)
+}
+
+// linkFor returns the effective configuration of the src→dst link.
+func (n *Network) linkFor(src, dst NodeID) LinkConfig {
+	if cfg, ok := n.links[linkKey{src, dst}]; ok {
+		return cfg
+	}
+	return n.defaultLink
+}
+
+// Send transmits payload from src to dst as an unreliable datagram. The
+// payload is copied, so the caller may reuse its buffer. Send never blocks;
+// delivery (if any) happens later in virtual time.
+func (n *Network) Send(src, dst NodeID, payload []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[src]; !ok {
+		return fmt.Errorf("%w: source %q", ErrUnknownNode, src)
+	}
+	if _, ok := n.nodes[dst]; !ok {
+		return fmt.Errorf("%w: destination %q", ErrUnknownNode, dst)
+	}
+	cfg := n.linkFor(src, dst)
+	if cfg.MTU > 0 && len(payload) > cfg.MTU {
+		return fmt.Errorf("%w: %d > %d (link %s→%s)", ErrTooLarge, len(payload), cfg.MTU, src, dst)
+	}
+	n.stats.Sent++
+	n.stats.BytesSent += uint64(len(payload))
+	if n.partition[linkKey{src, dst}] {
+		n.stats.Dropped++
+		return nil
+	}
+	rng := n.kernel.Rand()
+	if cfg.LossRate > 0 && rng.Float64() < cfg.LossRate {
+		n.stats.Dropped++
+		return nil
+	}
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	n.scheduleDelivery(src, dst, cfg, buf)
+	if cfg.DuplicateRate > 0 && rng.Float64() < cfg.DuplicateRate {
+		dup := make([]byte, len(buf))
+		copy(dup, buf)
+		n.scheduleDelivery(src, dst, cfg, dup)
+	}
+	return nil
+}
+
+// scheduleDelivery must be called with n.mu held.
+func (n *Network) scheduleDelivery(src, dst NodeID, cfg LinkConfig, buf []byte) {
+	delay := cfg.Latency
+	if cfg.Jitter > 0 {
+		delay += time.Duration(n.kernel.Rand().Int63n(int64(cfg.Jitter)))
+	}
+	n.kernel.Schedule(delay, func() {
+		n.mu.Lock()
+		h, ok := n.nodes[dst]
+		if ok {
+			n.stats.Delivered++
+		}
+		n.mu.Unlock()
+		if ok {
+			h(src, buf)
+		}
+	})
+}
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ResetStats zeroes the network counters; experiments call it between
+// warm-up and measurement phases.
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{}
+}

@@ -1,0 +1,250 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Entity is a protocol entity in the sense of the paper's §2: "the
+// behaviour of a protocol entity defines the service primitives between
+// this entity and the service users, the service primitives between the
+// protocol entity and the lower level service, and the relationships
+// between these primitives."
+//
+// Concrete entities (the floor-control protocols of Figure 6 live in
+// internal/floorcontrol) implement the three reaction points below; the
+// Layer wires them to a lower service and to their local user.
+type Entity interface {
+	// Init is called once when the entity is added to a layer, before any
+	// traffic; entities keep the context for sending PDUs and upcalls.
+	Init(ctx *Context) error
+	// FromUser handles a from-user service primitive executed by the local
+	// user at this entity's service access point.
+	FromUser(primitive string, params codec.Record) error
+	// FromPeer handles a decoded PDU received from a peer entity through
+	// the lower level service.
+	FromPeer(src Addr, pdu codec.Message) error
+}
+
+// Context is an entity's window on its layer: its own address, PDU
+// transmission, timers and the upcall to its local service user.
+type Context struct {
+	layer *Layer
+	self  Addr
+}
+
+// Self returns the entity's address.
+func (c *Context) Self() Addr { return c.self }
+
+// Kernel returns the simulation kernel (for time-dependent behaviour).
+func (c *Context) Kernel() *sim.Kernel { return c.layer.kernel }
+
+// Schedule runs fn after a virtual delay; entities use it for polling
+// intervals, hold times and timeouts.
+func (c *Context) Schedule(delay time.Duration, fn func()) *sim.Timer {
+	return c.layer.kernel.Schedule(delay, fn)
+}
+
+// SendPDU encodes and transmits a PDU to the peer entity at dst through
+// the layer's lower service.
+func (c *Context) SendPDU(dst Addr, pdu codec.Message) error {
+	data, err := codec.EncodeMessage(pdu)
+	if err != nil {
+		return fmt.Errorf("protocol: encode PDU %q: %w", pdu.Name, err)
+	}
+	c.layer.countPDU(pdu.Name, len(data))
+	if err := c.layer.lower.Send(c.self, dst, data); err != nil {
+		return fmt.Errorf("protocol: send PDU %q %s→%s: %w", pdu.Name, c.self, dst, err)
+	}
+	return nil
+}
+
+// DeliverToUser executes a to-user service primitive at this entity's SAP.
+// It is a no-op if the user part has not attached a handler.
+func (c *Context) DeliverToUser(primitive string, params codec.Record) {
+	c.layer.deliverUp(c.self, primitive, params)
+}
+
+// LayerStats counts the PDU traffic a layer generated — the measurable
+// footprint of a protocol solution.
+type LayerStats struct {
+	PDUsSent  uint64
+	BytesSent uint64
+	ByType    map[string]uint64
+}
+
+// Layer binds protocol entities (one per address) over a lower-level
+// service: the structure the paper's Figure 2 depicts. Its upper boundary
+// is a service; expose it to user parts with NewServiceBinding.
+type Layer struct {
+	name   string
+	kernel *sim.Kernel
+	lower  LowerService
+
+	mu       sync.Mutex
+	entities map[Addr]Entity
+	upcalls  map[Addr]func(primitive string, params codec.Record)
+	stats    LayerStats
+}
+
+// NewLayer creates an empty layer over lower.
+func NewLayer(name string, kernel *sim.Kernel, lower LowerService) *Layer {
+	return &Layer{
+		name:     name,
+		kernel:   kernel,
+		lower:    lower,
+		entities: make(map[Addr]Entity),
+		upcalls:  make(map[Addr]func(string, codec.Record)),
+		stats:    LayerStats{ByType: make(map[string]uint64)},
+	}
+}
+
+// Name returns the layer's display name.
+func (l *Layer) Name() string { return l.name }
+
+// Kernel returns the layer's simulation kernel.
+func (l *Layer) Kernel() *sim.Kernel { return l.kernel }
+
+// AddEntity installs e at addr: attaches it to the lower service and
+// initializes it.
+func (l *Layer) AddEntity(addr Addr, e Entity) error {
+	if e == nil {
+		return fmt.Errorf("protocol: nil entity at %q", addr)
+	}
+	l.mu.Lock()
+	if _, dup := l.entities[addr]; dup {
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrDuplicate, addr)
+	}
+	l.entities[addr] = e
+	l.mu.Unlock()
+
+	if err := l.lower.Attach(addr, func(src Addr, data []byte) {
+		msg, err := codec.DecodeMessage(data)
+		if err != nil {
+			return // undecodable PDU: drop
+		}
+		_ = e.FromPeer(src, msg) //nolint:errcheck // entity errors are local design errors surfaced in tests
+	}); err != nil {
+		return fmt.Errorf("protocol: attach %q: %w", addr, err)
+	}
+	if err := e.Init(&Context{layer: l, self: addr}); err != nil {
+		return fmt.Errorf("protocol: init entity at %q: %w", addr, err)
+	}
+	return nil
+}
+
+// Entity returns the entity at addr.
+func (l *Layer) Entity(addr Addr) (Entity, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entities[addr]
+	return e, ok
+}
+
+// SetUpcall registers the local user handler for to-user primitives at
+// addr.
+func (l *Layer) SetUpcall(addr Addr, fn func(primitive string, params codec.Record)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.upcalls[addr] = fn
+}
+
+func (l *Layer) deliverUp(addr Addr, primitive string, params codec.Record) {
+	l.mu.Lock()
+	fn := l.upcalls[addr]
+	l.mu.Unlock()
+	if fn != nil {
+		fn(primitive, params)
+	}
+}
+
+func (l *Layer) countPDU(name string, bytes int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats.PDUsSent++
+	l.stats.BytesSent += uint64(bytes)
+	l.stats.ByType[name]++
+}
+
+// Stats returns a snapshot of the layer counters.
+func (l *Layer) Stats() LayerStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	byType := make(map[string]uint64, len(l.stats.ByType))
+	for k, v := range l.stats.ByType {
+		byType[k] = v
+	}
+	return LayerStats{PDUsSent: l.stats.PDUsSent, BytesSent: l.stats.BytesSent, ByType: byType}
+}
+
+// ServiceBinding exposes a layer's upper boundary as a core.Provider by
+// mapping service access points to entity addresses. This is the seam the
+// paper argues for: user parts hold a Provider and never learn which
+// protocol implements it.
+type ServiceBinding struct {
+	layer *Layer
+
+	mu   sync.Mutex
+	saps map[core.SAP]Addr
+}
+
+var _ core.Provider = (*ServiceBinding)(nil)
+
+// NewServiceBinding creates an empty SAP→entity binding for a layer.
+func NewServiceBinding(layer *Layer) *ServiceBinding {
+	return &ServiceBinding{layer: layer, saps: make(map[core.SAP]Addr)}
+}
+
+// Bind associates a SAP with the entity at addr.
+func (b *ServiceBinding) Bind(sap core.SAP, addr Addr) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.layer.Entity(addr); !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownEntity, addr)
+	}
+	if _, dup := b.saps[sap]; dup {
+		return fmt.Errorf("%w: SAP %s", ErrDuplicate, sap)
+	}
+	b.saps[sap] = addr
+	return nil
+}
+
+// Submit implements core.Provider: the from-user primitive is handed to
+// the entity serving the SAP.
+func (b *ServiceBinding) Submit(sap core.SAP, primitive string, params codec.Record) error {
+	b.mu.Lock()
+	addr, ok := b.saps[sap]
+	b.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotBound, sap)
+	}
+	e, ok := b.layer.Entity(addr)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownEntity, addr)
+	}
+	if err := e.FromUser(primitive, params); err != nil {
+		return fmt.Errorf("protocol: %s at %s: %w", primitive, sap, err)
+	}
+	return nil
+}
+
+// Attach implements core.Provider.
+func (b *ServiceBinding) Attach(sap core.SAP, handler func(primitive string, params codec.Record)) {
+	b.mu.Lock()
+	addr, ok := b.saps[sap]
+	b.mu.Unlock()
+	if !ok {
+		return
+	}
+	b.layer.SetUpcall(addr, handler)
+}
+
+// ErrNotBound is reported when submitting at an unbound SAP.
+var ErrNotBound = errors.New("protocol: SAP not bound")

@@ -1,0 +1,97 @@
+// Package protocol implements the protocol-centred (telecom) paradigm of
+// the paper's §2: protocol entities that "communicate with each other by
+// exchanging messages, often called Protocol Data Units (PDUs), through a
+// lower level service", assembled into layers whose upper boundary is a
+// service in the sense of internal/core.
+//
+// The package provides:
+//
+//   - LowerService: the abstraction of a lower-level data-transfer service;
+//   - UnreliableDatagram: the raw simulated network as a lower service;
+//   - ReliableDatagram: a go-back-N protocol layer that turns an unreliable
+//     datagram service into reliable, in-order, exactly-once delivery — the
+//     "(reliable datagram)" lower service the paper's Figure 6 assumes;
+//   - Entity, Context and Layer: the framework for writing application
+//     protocols (the floor-control protocols of Figure 6 are Entities) and
+//     exposing the layer's upper boundary as a core.Provider.
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/network"
+)
+
+// Addr identifies a protocol entity endpoint. Addresses coincide with
+// simulated network node ids.
+type Addr = network.NodeID
+
+// Errors shared by lower-service implementations.
+var (
+	ErrDuplicate     = errors.New("protocol: address already attached")
+	ErrUnknownEntity = errors.New("protocol: unknown entity address")
+)
+
+// Receiver consumes PDUs delivered by a lower service.
+type Receiver func(src Addr, pdu []byte)
+
+// LowerService is the paper's "lower level service": it provides
+// interconnection and data transfer between protocol entities. Reliability
+// properties depend on the implementation.
+type LowerService interface {
+	// Name identifies the service for diagnostics and metrics.
+	Name() string
+	// Attach registers the receiver for PDUs addressed to addr.
+	Attach(addr Addr, r Receiver) error
+	// Send transfers an encoded PDU from src to dst.
+	Send(src, dst Addr, pdu []byte) error
+}
+
+// UnreliableDatagram adapts the simulated network directly: datagrams may
+// be lost, duplicated or reordered according to the link configuration
+// ("send and pray", §2).
+type UnreliableDatagram struct {
+	net *network.Network
+
+	mu       sync.Mutex
+	attached map[Addr]struct{}
+}
+
+var _ LowerService = (*UnreliableDatagram)(nil)
+
+// NewUnreliableDatagram wraps a simulated network as a lower service.
+func NewUnreliableDatagram(net *network.Network) *UnreliableDatagram {
+	return &UnreliableDatagram{net: net, attached: make(map[Addr]struct{})}
+}
+
+// Name implements LowerService.
+func (u *UnreliableDatagram) Name() string { return "unreliable-datagram" }
+
+// Attach implements LowerService. The address is registered as a network
+// node on first attach.
+func (u *UnreliableDatagram) Attach(addr Addr, r Receiver) error {
+	if r == nil {
+		return fmt.Errorf("protocol: nil receiver for %q", addr)
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	h := network.Handler(func(src network.NodeID, payload []byte) { r(src, payload) })
+	if _, ok := u.attached[addr]; ok {
+		return u.net.SetHandler(addr, h)
+	}
+	if err := u.net.AddNode(addr, h); err != nil {
+		if errors.Is(err, network.ErrDuplicateNode) {
+			return u.net.SetHandler(addr, h)
+		}
+		return err
+	}
+	u.attached[addr] = struct{}{}
+	return nil
+}
+
+// Send implements LowerService.
+func (u *UnreliableDatagram) Send(src, dst Addr, pdu []byte) error {
+	return u.net.Send(src, dst, pdu)
+}

@@ -1,0 +1,280 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All higher layers of this repository (the simulated network, the protocol
+// framework, the middleware platform and the floor-control experiments) run
+// on virtual time supplied by a Kernel. Determinism is a design goal: two
+// runs with the same seed and the same schedule of calls execute the same
+// events in the same order, which makes conformance traces reproducible and
+// experiments comparable.
+//
+// The kernel is intentionally single-threaded: events run one at a time, in
+// (time, sequence) order. Public entry points are safe for concurrent use,
+// but event handlers themselves always execute sequentially.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrStopped is returned by Run variants when the kernel was explicitly
+// stopped before the run condition was reached.
+var ErrStopped = errors.New("sim: kernel stopped")
+
+// Option configures a Kernel.
+type Option func(*Kernel)
+
+// WithSeed sets the seed of the kernel's deterministic random source.
+// The default seed is 1.
+func WithSeed(seed int64) Option {
+	return func(k *Kernel) { k.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithEventLimit bounds the total number of events a single Run call may
+// execute. Zero (the default) means no limit. The limit is a safety net for
+// runaway models (for example a polling loop with zero interval).
+func WithEventLimit(n int) Option {
+	return func(k *Kernel) { k.eventLimit = n }
+}
+
+// Timer is a handle to a scheduled event. The zero value is not meaningful;
+// timers are created by Kernel.Schedule and Kernel.ScheduleAt.
+type Timer struct {
+	kernel *Kernel
+	seq    uint64
+	at     time.Duration
+	fn     func()
+	index  int // heap index; -1 once fired, cancelled or popped
+}
+
+// When reports the virtual time at which the timer will fire (or fired).
+func (t *Timer) When() time.Duration { return t.at }
+
+// Cancel removes the timer from the schedule. It reports whether the timer
+// was still pending (true) or had already fired or been cancelled (false).
+func (t *Timer) Cancel() bool {
+	if t == nil || t.kernel == nil {
+		return false
+	}
+	t.kernel.mu.Lock()
+	defer t.kernel.mu.Unlock()
+	if t.index < 0 {
+		return false
+	}
+	heap.Remove(&t.kernel.queue, t.index)
+	t.index = -1
+	t.fn = nil
+	return true
+}
+
+// Pending reports whether the timer is still scheduled.
+func (t *Timer) Pending() bool {
+	if t == nil || t.kernel == nil {
+		return false
+	}
+	t.kernel.mu.Lock()
+	defer t.kernel.mu.Unlock()
+	return t.index >= 0
+}
+
+// Kernel is a deterministic discrete-event scheduler over virtual time.
+// Create one with NewKernel; the zero value is not usable.
+type Kernel struct {
+	mu         sync.Mutex
+	now        time.Duration
+	seq        uint64
+	queue      timerQueue
+	rng        *rand.Rand
+	stopped    bool
+	executed   uint64
+	eventLimit int
+}
+
+// NewKernel returns a kernel at virtual time zero.
+func NewKernel(opts ...Option) *Kernel {
+	k := &Kernel{rng: rand.New(rand.NewSource(1))}
+	for _, opt := range opts {
+		opt(k)
+	}
+	return k
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.now
+}
+
+// Executed returns the total number of events executed so far. It is used
+// by experiments as a platform-neutral proxy for computational work.
+func (k *Kernel) Executed() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.executed
+}
+
+// Pending returns the number of scheduled, not yet executed events.
+func (k *Kernel) Pending() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.queue.Len()
+}
+
+// Rand returns the kernel's deterministic random source. It must only be
+// used from inside event handlers (or before the simulation starts) to keep
+// runs reproducible.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Schedule arranges for fn to run after delay of virtual time. A negative
+// delay is treated as zero. Events scheduled for the same instant run in
+// scheduling order (FIFO).
+func (k *Kernel) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.scheduleLocked(k.now+delay, fn)
+}
+
+// ScheduleAt arranges for fn to run at absolute virtual time at. Times in
+// the past are clamped to the current instant.
+func (k *Kernel) ScheduleAt(at time.Duration, fn func()) *Timer {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if at < k.now {
+		at = k.now
+	}
+	return k.scheduleLocked(at, fn)
+}
+
+func (k *Kernel) scheduleLocked(at time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: Schedule called with nil function")
+	}
+	k.seq++
+	t := &Timer{kernel: k, seq: k.seq, at: at, fn: fn}
+	heap.Push(&k.queue, t)
+	return t
+}
+
+// Stop aborts any in-progress Run at the next event boundary. Pending
+// events remain queued.
+func (k *Kernel) Stop() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.stopped = true
+}
+
+// Step executes the single next event, if any, advancing virtual time to
+// the event's instant. It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	k.mu.Lock()
+	if k.queue.Len() == 0 {
+		k.mu.Unlock()
+		return false
+	}
+	t := heap.Pop(&k.queue).(*Timer)
+	t.index = -1
+	k.now = t.at
+	k.executed++
+	fn := t.fn
+	t.fn = nil
+	k.mu.Unlock()
+	fn()
+	return true
+}
+
+// Run executes events until the queue is empty. It returns the number of
+// events executed. It returns ErrStopped if Stop was called, or an error if
+// the configured event limit was exceeded.
+func (k *Kernel) Run() (int, error) {
+	return k.run(func() bool { return true })
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline (even if no event fired exactly there). Events
+// scheduled after the deadline stay queued.
+func (k *Kernel) RunUntil(deadline time.Duration) (int, error) {
+	n, err := k.run(func() bool {
+		return k.queue.Len() > 0 && k.queue[0].at <= deadline
+	})
+	k.mu.Lock()
+	if k.now < deadline {
+		k.now = deadline
+	}
+	k.mu.Unlock()
+	return n, err
+}
+
+// run executes events while cond (evaluated under the lock) holds.
+func (k *Kernel) run(cond func() bool) (int, error) {
+	executed := 0
+	for {
+		k.mu.Lock()
+		if k.stopped {
+			k.stopped = false
+			k.mu.Unlock()
+			return executed, ErrStopped
+		}
+		if k.queue.Len() == 0 || !cond() {
+			k.mu.Unlock()
+			return executed, nil
+		}
+		if k.eventLimit > 0 && executed >= k.eventLimit {
+			k.mu.Unlock()
+			return executed, fmt.Errorf("sim: event limit %d exceeded at t=%v", k.eventLimit, k.now)
+		}
+		t := heap.Pop(&k.queue).(*Timer)
+		t.index = -1
+		k.now = t.at
+		k.executed++
+		fn := t.fn
+		t.fn = nil
+		k.mu.Unlock()
+		fn()
+		executed++
+	}
+}
+
+// timerQueue is a min-heap over (at, seq), so simultaneous events preserve
+// scheduling order.
+type timerQueue []*Timer
+
+var _ heap.Interface = (*timerQueue)(nil)
+
+func (q timerQueue) Len() int { return len(q) }
+
+func (q timerQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q timerQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *timerQueue) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*q)
+	*q = append(*q, t)
+}
+
+func (q *timerQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*q = old[:n-1]
+	return t
+}
