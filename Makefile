@@ -1,0 +1,39 @@
+GO ?= go
+
+.PHONY: all build test bench bench-smoke sweep fig fmt vet check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench . -run XXX .
+
+# One iteration of every benchmark — the CI smoke.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run XXX ./...
+
+# The default 120-scenario cross-product sweep (table to stdout).
+sweep:
+	$(GO) run ./cmd/sweep
+
+# Regenerate every paper figure.
+fig:
+	$(GO) run ./cmd/benchfig
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+check: vet build test
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+clean:
+	$(GO) clean ./...
+	rm -f benchfig floorctl mdagen sdlc svcverify sweep

@@ -8,6 +8,7 @@ import (
 	"repro/internal/chat"
 	"repro/internal/experiments"
 	"repro/internal/floorcontrol"
+	"repro/internal/runner"
 )
 
 // benchExperiment runs one figure generator per iteration. The benchmark
@@ -146,3 +147,38 @@ func BenchmarkCaseStudyChat(b *testing.B) {
 
 // BenchmarkCaseStudyChatReport regenerates the C1 case-study table.
 func BenchmarkCaseStudyChatReport(b *testing.B) { benchExperiment(b, "C1") }
+
+// sweepBenchMatrix is the fixed scenario matrix of the sweep benchmarks:
+// all ten solutions × subscribers {2,4,8} × loss {0,5%} = 60 scenarios.
+func sweepBenchMatrix() []runner.Scenario {
+	return runner.Matrix{
+		Subscribers: []int{2, 4, 8},
+		LossRates:   []float64{0, 0.05},
+		Cycles:      4,
+	}.Scenarios()
+}
+
+// benchSweep runs the full 60-scenario matrix once per iteration on the
+// given worker count (0 = GOMAXPROCS). BenchmarkSweepSequential vs
+// BenchmarkSweepParallel is the headline parallel-runner comparison; the
+// two aggregate bit-identical reports (see
+// runner.TestSweepDeterministicAcrossWorkerCounts), so the benchmark pair
+// isolates pure scheduling speedup.
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	scenarios := sweepBenchMatrix()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := runner.Sweep(scenarios, runner.Options{Workers: workers, BaseSeed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(scenarios)), "scenarios")
+}
+
+func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B)   { benchSweep(b, 0) }

@@ -3,10 +3,16 @@
 //
 // Usage:
 //
-//	benchfig               # all experiments
+//	benchfig               # all experiments, in parallel
 //	benchfig -fig F4       # one experiment
-//	benchfig -seed 7       # different deterministic seed
+//	benchfig -seed 7       # different deterministic base seed
+//	benchfig -parallel 1   # sequential regeneration (same output)
 //	benchfig -list         # list experiment ids
+//
+// The -seed flag is the sweep base seed: each experiment runs with a seed
+// derived from (base seed, experiment ID), so output is identical whatever
+// the worker count, and `benchfig -fig F4` matches F4's section of the
+// full output.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -22,14 +29,15 @@ func main() {
 }
 
 func run() int {
-	fig := flag.String("fig", "all", "experiment id (F1..F12, A1..A3) or 'all'")
-	seed := flag.Int64("seed", 42, "simulation seed")
+	fig := flag.String("fig", "all", "experiment id (F1..F12, A1..A3, C1) or 'all'")
+	seed := flag.Int64("seed", 42, "base simulation seed (per-experiment seeds are derived from it)")
+	parallel := flag.Int("parallel", 0, "worker count for regenerating all experiments (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Println(e.ID)
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
 		return 0
 	}
@@ -39,7 +47,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "benchfig: unknown experiment %q (try -list)\n", *fig)
 			return 2
 		}
-		rep, err := gen(*seed)
+		rep, err := gen(runner.DeriveSeed(*seed, *fig))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchfig: %s: %v\n", *fig, err)
 			return 1
@@ -47,13 +55,22 @@ func run() int {
 		fmt.Println(rep)
 		return 0
 	}
-	for _, e := range experiments.All() {
-		rep, err := e.Gen(*seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchfig: %s: %v\n", e.ID, err)
-			return 1
-		}
-		fmt.Println(rep)
+	report, err := runner.Sweep(runner.FigureScenarios(experiments.All()), runner.Options{
+		Workers:  *parallel,
+		BaseSeed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+		return 1
 	}
-	return 0
+	code := 0
+	for _, s := range report.Scenarios {
+		if s.Err != "" {
+			fmt.Fprintf(os.Stderr, "benchfig: %s: %s\n", s.ID, s.Err)
+			code = 1
+			continue
+		}
+		fmt.Println(s.Outcome.Text)
+	}
+	return code
 }

@@ -1,0 +1,178 @@
+// Command sweep runs cross-product floor-control workload sweeps on the
+// parallel scenario runner and emits the aggregated report as a table,
+// JSON, or CSV.
+//
+// Usage:
+//
+//	sweep                                  # default 120-scenario matrix
+//	sweep -parallel 1                      # sequential; bit-identical output
+//	sweep -solutions mw-token,proto-token  # restrict the solution dimension
+//	sweep -loss 0,0.05 -subs 4,16          # restrict swept dimensions
+//	sweep -format csv -out sweep.csv       # machine-readable output
+//
+// The default matrix is all 10 solutions × loss {0, 1, 5, 10}% × clients
+// {2, 8, 32}. Every scenario's seed is derived from the base seed and the
+// scenario ID, so the report is bit-identical for any -parallel value.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/floorcontrol"
+	"repro/internal/runner"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	solutions := flag.String("solutions", "all", "comma-separated solution names, or 'all'")
+	subs := flag.String("subs", "2,8,32", "comma-separated subscriber (client) counts")
+	resources := flag.String("resources", "2", "comma-separated resource counts")
+	loss := flag.String("loss", "0,0.01,0.05,0.1", "comma-separated link loss rates (fractions)")
+	cycles := flag.Int("cycles", 6, "acquire/hold/release cycles per subscriber")
+	seed := flag.Int64("seed", 42, "base sweep seed (per-scenario seeds are derived from it)")
+	parallel := flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
+	format := flag.String("format", "table", "output format: table, json, or csv")
+	out := flag.String("out", "", "output file (default stdout)")
+	list := flag.Bool("list", false, "list solution names and exit")
+	quiet := flag.Bool("quiet", false, "suppress the run summary on stderr")
+	flag.Parse()
+
+	if *list {
+		for _, name := range floorcontrol.AllSolutionNames() {
+			fmt.Println(name)
+		}
+		return 0
+	}
+
+	matrix := runner.Matrix{Cycles: *cycles}
+	if sols := strings.TrimSpace(*solutions); sols != "all" {
+		seen := make(map[string]struct{})
+		for _, s := range strings.Split(sols, ",") {
+			s = strings.TrimSpace(s)
+			if _, ok := floorcontrol.SolutionByName(s); !ok {
+				fmt.Fprintf(os.Stderr, "sweep: -solutions: unknown solution %q (try -list)\n", s)
+				return 2
+			}
+			if _, dup := seen[s]; dup {
+				fmt.Fprintf(os.Stderr, "sweep: -solutions: duplicate value %q\n", s)
+				return 2
+			}
+			seen[s] = struct{}{}
+			matrix.Solutions = append(matrix.Solutions, s)
+		}
+	}
+	var err error
+	if matrix.Subscribers, err = parseInts(*subs); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: -subs: %v\n", err)
+		return 2
+	}
+	if matrix.Resources, err = parseInts(*resources); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: -resources: %v\n", err)
+		return 2
+	}
+	if matrix.LossRates, err = parseFloats(*loss); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: -loss: %v\n", err)
+		return 2
+	}
+
+	scenarios := matrix.Scenarios()
+	start := time.Now()
+	report, err := runner.Sweep(scenarios, runner.Options{Workers: *parallel, BaseSeed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		return 1
+	}
+	elapsed := time.Since(start)
+
+	var rendered []byte
+	switch *format {
+	case "table":
+		rendered = []byte(report.String())
+	case "json":
+		rendered, err = report.JSON()
+	case "csv":
+		rendered, err = report.CSV()
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown format %q (table, json, csv)\n", *format)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: render: %v\n", err)
+		return 1
+	}
+
+	if *out == "" {
+		if _, err := os.Stdout.Write(rendered); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: write: %v\n", err)
+			return 1
+		}
+	} else if err := os.WriteFile(*out, rendered, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		return 1
+	}
+
+	if !*quiet {
+		workers := *parallel
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: %d scenarios on %d workers in %s\n",
+			len(scenarios), workers, elapsed.Round(time.Millisecond))
+	}
+	if serr := report.Err(); serr != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", serr)
+		return 1
+	}
+	return 0
+}
+
+func parseInts(csv string) ([]int, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("value %d is not positive", v)
+		}
+		for _, prev := range out {
+			if prev == v {
+				return nil, fmt.Errorf("duplicate value %d", v)
+			}
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(csv string) ([]float64, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 || v >= 1 {
+			return nil, fmt.Errorf("loss rate %g is outside [0, 1)", v)
+		}
+		for _, prev := range out {
+			if prev == v {
+				return nil, fmt.Errorf("duplicate value %g", v)
+			}
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -17,5 +17,7 @@
 //
 // Start with README.md, DESIGN.md (system inventory and experiment
 // index), EXPERIMENTS.md (paper-vs-measured record), the examples/
-// directory, and cmd/benchfig which regenerates every figure.
+// directory, cmd/benchfig which regenerates every figure, and cmd/sweep
+// which runs cross-product workload sweeps on the parallel scenario
+// runner (internal/runner).
 package repro

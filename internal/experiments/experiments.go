@@ -43,31 +43,35 @@ func (r *Report) String() string {
 // Generator produces one report deterministically from a seed.
 type Generator func(seed int64) (*Report, error)
 
-// All returns every experiment in DESIGN.md order, keyed by id.
-func All() []struct {
-	ID  string
-	Gen Generator
-} {
-	return []struct {
-		ID  string
-		Gen Generator
-	}{
-		{"F1", Fig1DistributedSystem},
-		{"F2", Fig2ProtocolParadigm},
-		{"F3", Fig3MiddlewareParadigm},
-		{"F4", Fig4MiddlewareSolutions},
-		{"F5", Fig5ServiceConformance},
-		{"F6", Fig6ProtocolSolutions},
-		{"F7", Fig7Scattering},
-		{"F8", Fig8MiddlewareView},
-		{"F9", Fig9InteractionSystemView},
-		{"F10", Fig10Trajectory},
-		{"F11", Fig11Milestones},
-		{"F12", Fig12Recursion},
-		{"A1", AblationPollingSweep},
-		{"A2", AblationScaling},
-		{"A3", AblationLoss},
-		{"C1", CaseStudyChat},
+// Descriptor is the scenario descriptor of one experiment: a stable ID, a
+// short title for listings, and the generator. Sweep harnesses (see
+// internal/runner) consume descriptors rather than bare generator
+// functions.
+type Descriptor struct {
+	ID    string
+	Title string
+	Gen   Generator
+}
+
+// All returns every experiment descriptor in DESIGN.md order.
+func All() []Descriptor {
+	return []Descriptor{
+		{"F1", "model of a distributed system", Fig1DistributedSystem},
+		{"F2", "protocol-centred paradigm, traffic per boundary", Fig2ProtocolParadigm},
+		{"F3", "middleware-centred paradigm, interaction patterns", Fig3MiddlewareParadigm},
+		{"F4", "middleware-centred floor-control solutions", Fig4MiddlewareSolutions},
+		{"F5", "floor-control service conformance", Fig5ServiceConformance},
+		{"F6", "protocol-centred floor-control solutions", Fig6ProtocolSolutions},
+		{"F7", "scattering of interaction functionality", Fig7Scattering},
+		{"F8", "middleware view: swapping the interaction system", Fig8MiddlewareView},
+		{"F9", "application-dependent interaction system view", Fig9InteractionSystemView},
+		{"F10", "MDA trajectory: one PIM, four platforms", Fig10Trajectory},
+		{"F11", "service milestones in the design trajectory", Fig11Milestones},
+		{"F12", "recursive abstract-platform realization", Fig12Recursion},
+		{"A1", "ablation: polling interval sweep", AblationPollingSweep},
+		{"A2", "ablation: subscriber scaling", AblationScaling},
+		{"A3", "ablation: loss tolerance", AblationLoss},
+		{"C1", "case study: ordered chat", CaseStudyChat},
 	}
 }
 

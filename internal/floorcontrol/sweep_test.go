@@ -1,0 +1,63 @@
+package floorcontrol
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAllSolutionNamesResolve(t *testing.T) {
+	names := AllSolutionNames()
+	if len(names) != 10 {
+		t.Fatalf("got %d solution names, want 10", len(names))
+	}
+	for _, name := range names {
+		if _, ok := SolutionByName(name); !ok {
+			t.Errorf("AllSolutionNames lists %q but SolutionByName cannot resolve it", name)
+		}
+	}
+}
+
+// TestScenarioIDDistinguishesWorkloads guards the sweep-key contract:
+// Configs describing different workloads must never collide on one ID
+// (they would share a derived seed and be rejected as duplicates), while
+// an explicitly-set default must yield the same ID as an unset field.
+func TestScenarioIDDistinguishesWorkloads(t *testing.T) {
+	base := Config{Solution: "mw-polling"}
+	variants := []Config{
+		{Solution: "mw-polling", ThinkTime: 40 * time.Millisecond},
+		{Solution: "mw-polling", HoldTime: 40 * time.Millisecond},
+		{Solution: "mw-polling", PollInterval: 40 * time.Millisecond},
+		{Solution: "mw-polling", TokenHopDelay: 40 * time.Millisecond},
+		{Solution: "mw-polling", Latency: 40 * time.Millisecond},
+		{Solution: "mw-polling", Deadline: time.Hour},
+		{Solution: "mw-polling", RawTransport: true},
+		{Solution: "mw-polling", Subscribers: 5},
+		{Solution: "mw-polling", LossRate: 0.2},
+	}
+	seen := map[string]int{base.ScenarioID(): -1}
+	for i, v := range variants {
+		id := v.ScenarioID()
+		if prev, dup := seen[id]; dup {
+			t.Errorf("variant %d collides with %d on ID %q", i, prev, id)
+		}
+		seen[id] = i
+	}
+
+	// Explicitly setting a field to its default must not change the ID.
+	explicit := Config{Solution: "mw-polling", PollInterval: 10 * time.Millisecond, Latency: time.Millisecond}
+	if got, want := explicit.ScenarioID(), base.ScenarioID(); got != want {
+		t.Errorf("explicit defaults changed the ID: %q vs %q", got, want)
+	}
+
+	// Seed must not leak into the ID: equal workloads under different
+	// seeds are the same scenario.
+	seeded := base
+	seeded.Seed = 99
+	if seeded.ScenarioID() != base.ScenarioID() {
+		t.Error("Seed leaked into the scenario ID")
+	}
+	// Suffix forms as documented: base ID plus the deviating parameter.
+	if got, want := variants[0].ScenarioID(), base.ScenarioID()+"/think=40ms"; got != want {
+		t.Errorf("suffix form: got %q, want %q", got, want)
+	}
+}

@@ -268,9 +268,12 @@ func RunWorkloadWith(sol Solution, cfg Config) (*Result, error) {
 	}
 	res.ConformanceErr = observer.Complete()
 	res.Trace = observer.Trace()
+	// Collect means in deployment order, not map order: float addition is
+	// not associative, so Jain's index would otherwise wobble at the last
+	// ulp from run to run.
 	means := make([]float64, 0, len(res.LatencyBySubscriber))
-	for _, h := range res.LatencyBySubscriber {
-		means = append(means, float64(h.Mean()))
+	for _, sub := range env.Subscribers {
+		means = append(means, float64(res.LatencyBySubscriber[sub].Mean()))
 	}
 	res.FairnessIndex = metrics.Jain(means)
 	return res, nil

@@ -1,0 +1,148 @@
+package runner
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// SweepReport aggregates every scenario result of one sweep, in scenario
+// input order. All renderings (JSON, CSV, String) are deterministic
+// functions of the content: map keys are emitted sorted and no wall-clock
+// quantity is included, so reports from sweeps with different worker
+// counts compare byte-identical.
+type SweepReport struct {
+	BaseSeed  int64            `json:"base_seed"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// Err returns the first scenario failure, or nil when every scenario
+// succeeded.
+func (r *SweepReport) Err() error {
+	for _, s := range r.Scenarios {
+		if s.Err != "" {
+			return fmt.Errorf("runner: scenario %q: %s", s.ID, s.Err)
+		}
+	}
+	return nil
+}
+
+// JSON renders the report as indented JSON.
+func (r *SweepReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// paramKeys returns the sorted union of parameter names across scenarios.
+func (r *SweepReport) paramKeys() []string {
+	set := make(map[string]struct{})
+	for _, s := range r.Scenarios {
+		for k := range s.Params {
+			set[k] = struct{}{}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// metricKeys returns the sorted union of metric names across scenarios.
+func (r *SweepReport) metricKeys() []string {
+	set := make(map[string]struct{})
+	for _, s := range r.Scenarios {
+		for k := range s.Outcome.Metrics {
+			set[k] = struct{}{}
+		}
+	}
+	return sortedKeys(set)
+}
+
+func sortedKeys(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CSV renders one row per scenario: id, seed, the union of parameter
+// columns, the union of metric columns, then the error column.
+func (r *SweepReport) CSV() ([]byte, error) {
+	params, mets := r.paramKeys(), r.metricKeys()
+	header := append([]string{"id", "seed"}, params...)
+	header = append(header, mets...)
+	header = append(header, "err")
+
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	if err := w.Write(header); err != nil {
+		return nil, err
+	}
+	for _, s := range r.Scenarios {
+		row := make([]string, 0, len(header))
+		row = append(row, s.ID, strconv.FormatInt(s.Seed, 10))
+		for _, k := range params {
+			row = append(row, s.Params[k])
+		}
+		for _, k := range mets {
+			v, ok := s.Outcome.Metrics[k]
+			if !ok {
+				row = append(row, "")
+				continue
+			}
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		row = append(row, s.Err)
+		if err := w.Write(row); err != nil {
+			return nil, err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return nil, err
+	}
+	return []byte(sb.String()), nil
+}
+
+// String renders the report as an aligned table of the metric columns,
+// one row per scenario, followed by the text artifacts of scenarios that
+// carry no metrics (figure regenerations) — scenarios with metrics are
+// already fully represented by their table row.
+func (r *SweepReport) String() string {
+	params, mets := r.paramKeys(), r.metricKeys()
+	headers := append([]string{"scenario", "seed"}, params...)
+	headers = append(headers, mets...)
+	headers = append(headers, "err")
+	table := metrics.NewTable(
+		fmt.Sprintf("sweep report — %d scenarios, base seed %d", len(r.Scenarios), r.BaseSeed),
+		headers...)
+	for _, s := range r.Scenarios {
+		row := make([]string, 0, len(headers))
+		row = append(row, s.ID, strconv.FormatInt(s.Seed, 10))
+		for _, k := range params {
+			row = append(row, s.Params[k])
+		}
+		for _, k := range mets {
+			v, ok := s.Outcome.Metrics[k]
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		row = append(row, s.Err)
+		table.AddRow(row...)
+	}
+	var sb strings.Builder
+	sb.WriteString(table.String())
+	for _, s := range r.Scenarios {
+		if s.Outcome.Text != "" && len(s.Outcome.Metrics) == 0 {
+			sb.WriteByte('\n')
+			sb.WriteString(s.Outcome.Text)
+		}
+	}
+	return sb.String()
+}

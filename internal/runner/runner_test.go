@@ -1,0 +1,222 @@
+package runner
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/floorcontrol"
+)
+
+func TestDeriveSeedStable(t *testing.T) {
+	a := DeriveSeed(42, "F4")
+	if b := DeriveSeed(42, "F4"); a != b {
+		t.Fatalf("DeriveSeed not stable: %d vs %d", a, b)
+	}
+	if a <= 0 {
+		t.Fatalf("DeriveSeed returned non-positive seed %d", a)
+	}
+	if DeriveSeed(42, "F5") == a {
+		t.Fatal("distinct IDs derived the same seed")
+	}
+	if DeriveSeed(43, "F4") == a {
+		t.Fatal("distinct base seeds derived the same seed")
+	}
+}
+
+func TestDeriveSeedSpreads(t *testing.T) {
+	seen := make(map[int64]string)
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("scenario-%d", i)
+		s := DeriveSeed(1, id)
+		if s <= 0 {
+			t.Fatalf("seed for %q is %d, want positive", id, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision between %q and %q", prev, id)
+		}
+		seen[s] = id
+	}
+}
+
+func TestSweepValidatesMatrix(t *testing.T) {
+	ok := func(int64) (Outcome, error) { return Outcome{}, nil }
+	cases := []struct {
+		name      string
+		scenarios []Scenario
+	}{
+		{"empty matrix", nil},
+		{"empty ID", []Scenario{{ID: "", Run: ok}}},
+		{"nil Run", []Scenario{{ID: "a"}}},
+		{"duplicate ID", []Scenario{{ID: "a", Run: ok}, {ID: "a", Run: ok}}},
+	}
+	for _, tc := range cases {
+		if _, err := Sweep(tc.scenarios, Options{}); err == nil {
+			t.Errorf("%s: Sweep accepted an invalid matrix", tc.name)
+		}
+	}
+}
+
+func TestSweepRecordsScenarioFailures(t *testing.T) {
+	scenarios := []Scenario{
+		{ID: "ok", Run: func(int64) (Outcome, error) { return Outcome{Text: "fine"}, nil }},
+		{ID: "fails", Run: func(int64) (Outcome, error) { return Outcome{}, errors.New("boom") }},
+		{ID: "panics", Run: func(int64) (Outcome, error) { panic("kaboom") }},
+	}
+	rep, err := Sweep(scenarios, Options{Workers: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenarios[0].Err != "" || rep.Scenarios[0].Outcome.Text != "fine" {
+		t.Fatalf("healthy scenario mangled: %+v", rep.Scenarios[0])
+	}
+	if rep.Scenarios[1].Err != "boom" {
+		t.Fatalf("error not recorded: %+v", rep.Scenarios[1])
+	}
+	if !strings.Contains(rep.Scenarios[2].Err, "kaboom") {
+		t.Fatalf("panic not recorded: %+v", rep.Scenarios[2])
+	}
+	if rep.Err() == nil {
+		t.Fatal("SweepReport.Err missed the failures")
+	}
+}
+
+func TestSweepPreservesInputOrder(t *testing.T) {
+	var scenarios []Scenario
+	for i := 0; i < 50; i++ {
+		id := fmt.Sprintf("s%02d", i)
+		scenarios = append(scenarios, Scenario{ID: id, Run: func(int64) (Outcome, error) {
+			return Outcome{Text: id}, nil
+		}})
+	}
+	rep, err := Sweep(scenarios, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range rep.Scenarios {
+		if want := fmt.Sprintf("s%02d", i); s.ID != want || s.Outcome.Text != want {
+			t.Fatalf("slot %d holds %q/%q, want %q", i, s.ID, s.Outcome.Text, want)
+		}
+	}
+}
+
+// testMatrix is the determinism workload: 10 solutions × 2 subscriber
+// counts × 2 loss rates = 40 scenarios, each with real simulation work.
+// The 32-subscriber column matters: large deployments caught a
+// map-iteration-order float instability in the fairness index that small
+// ones slipped past.
+func testMatrix() Matrix {
+	return Matrix{
+		Subscribers: []int{2, 32},
+		LossRates:   []float64{0, 0.05},
+		Cycles:      3,
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts is the splittable-seed
+// regression guard: the same sweep on 1 worker and on N workers must
+// aggregate to byte-identical reports in every rendering.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	scenarios := testMatrix().Scenarios()
+	if len(scenarios) < 40 {
+		t.Fatalf("matrix expands to %d scenarios, want >= 40", len(scenarios))
+	}
+	type rendering struct{ json, csv, table []byte }
+	render := func(workers int) rendering {
+		rep, err := Sweep(scenarios, Options{Workers: workers, BaseSeed: 42})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		j, err := rep.JSON()
+		if err != nil {
+			t.Fatalf("workers=%d: json: %v", workers, err)
+		}
+		c, err := rep.CSV()
+		if err != nil {
+			t.Fatalf("workers=%d: csv: %v", workers, err)
+		}
+		return rendering{json: j, csv: c, table: []byte(rep.String())}
+	}
+	base := render(1)
+	for _, workers := range []int{2, 4, 16} {
+		got := render(workers)
+		if !bytes.Equal(base.json, got.json) {
+			t.Errorf("JSON report differs between 1 and %d workers", workers)
+		}
+		if !bytes.Equal(base.csv, got.csv) {
+			t.Errorf("CSV report differs between 1 and %d workers", workers)
+		}
+		if !bytes.Equal(base.table, got.table) {
+			t.Errorf("table report differs between 1 and %d workers", workers)
+		}
+	}
+}
+
+// TestFigureScenariosDeterministic runs the figure regenerations through
+// the sweep twice at different worker counts and compares the rendered
+// figures.
+func TestFigureScenariosDeterministic(t *testing.T) {
+	scenarios := FigureScenarios(experiments.All())
+	run := func(workers int) []byte {
+		rep, err := Sweep(scenarios, Options{Workers: workers, BaseSeed: 42})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		j, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	if !bytes.Equal(run(1), run(4)) {
+		t.Fatal("figure sweep differs between 1 and 4 workers")
+	}
+}
+
+// TestWorkloadScenarioSeedOverride pins the contract that the derived
+// seed, not cfg.Seed, drives the run.
+func TestWorkloadScenarioSeedOverride(t *testing.T) {
+	cfg := floorcontrol.Config{Solution: "mw-callback", Seed: 999}
+	sc := WorkloadScenario(cfg)
+	out1, err := sc.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := sc.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(out1.Metrics) != fmt.Sprint(out2.Metrics) {
+		t.Fatal("equal seeds produced different outcomes")
+	}
+	direct, err := floorcontrol.RunWorkload(floorcontrol.Config{Solution: "mw-callback", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.Metrics["net_msgs"] != float64(direct.NetMessages) {
+		t.Fatalf("scenario ignored the handed seed: %v vs %d", out1.Metrics["net_msgs"], direct.NetMessages)
+	}
+}
+
+func TestMatrixSizeMatchesExpansion(t *testing.T) {
+	m := testMatrix()
+	if got := len(m.Scenarios()); got != m.Size() {
+		t.Fatalf("Size() = %d but Scenarios() expands to %d", m.Size(), got)
+	}
+	seen := make(map[string]struct{})
+	for _, s := range m.Scenarios() {
+		if _, dup := seen[s.ID]; dup {
+			t.Fatalf("duplicate scenario ID %q", s.ID)
+		}
+		seen[s.ID] = struct{}{}
+	}
+}

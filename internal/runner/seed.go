@@ -1,0 +1,30 @@
+package runner
+
+import "hash/fnv"
+
+// splitmix64 is the finalizer of the SplitMix64 generator (Steele, Lea,
+// Flood — "Fast splittable pseudorandom number generators"). It is a
+// bijective avalanche mix: distinct inputs give well-scattered distinct
+// outputs, which is exactly the splittable-seed property the sweep needs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed splits a sweep-level base seed into the seed of one scenario,
+// keyed by the scenario's stable ID. The derivation depends only on
+// (base, id) — never on worker count, scheduling, or completion order — so
+// sweep results are bit-identical however the scenarios are distributed.
+// The result is always positive: zero is reserved by several Config
+// defaults, and negative seeds are avoided for readability in reports.
+func DeriveSeed(base int64, id string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	s := int64(splitmix64(uint64(base)^h.Sum64()) &^ (1 << 63))
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
