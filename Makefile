@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-smoke sweep fig fmt vet check clean
+.PHONY: all build test bench bench-smoke bench-kernel bench-baseline bench-regression sweep fig fmt vet check clean
 
 all: check
 
@@ -16,6 +16,20 @@ bench:
 # One iteration of every benchmark — the CI smoke.
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run XXX ./...
+
+# The kernel benchmark suite at the CI gate's repetition count.
+bench-kernel:
+	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/sim
+
+# Refresh the committed benchmark baseline (commit the result).
+bench-baseline:
+	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/sim | \
+		$(GO) run ./cmd/benchcmp -record -out BENCH_kernel.json
+
+# The CI bench-regression gate, locally.
+bench-regression:
+	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/sim | \
+		$(GO) run ./cmd/benchcmp -baseline BENCH_kernel.json -threshold 1.20 -normalize Calibrate
 
 # The default 120-scenario cross-product sweep (table to stdout).
 sweep:

@@ -168,6 +168,7 @@ func benchSweep(b *testing.B, workers int) {
 	b.Helper()
 	scenarios := sweepBenchMatrix()
 	b.ReportAllocs()
+	var kernelEvents float64
 	for i := 0; i < b.N; i++ {
 		rep, err := runner.Sweep(scenarios, runner.Options{Workers: workers, BaseSeed: 42})
 		if err != nil {
@@ -176,9 +177,39 @@ func benchSweep(b *testing.B, workers int) {
 		if err := rep.Err(); err != nil {
 			b.Fatal(err)
 		}
+		kernelEvents = rep.TotalMetric("kernel_events")
 	}
 	b.ReportMetric(float64(len(scenarios)), "scenarios")
+	b.ReportMetric(kernelEvents, "kernel-events")
 }
 
 func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
 func BenchmarkSweepParallel(b *testing.B)   { benchSweep(b, 0) }
+
+// BenchmarkKernelEventThroughput is the macro view of the sim-kernel hot
+// path the whole harness runs on: one full floor-control workload per
+// iteration, reporting simulated kernel events per wall-clock second.
+// The micro benchmarks (and the CI regression gate over them) live in
+// internal/sim; this one shows what they buy end to end.
+func BenchmarkKernelEventThroughput(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		res, err := floorcontrol.RunWorkload(floorcontrol.Config{
+			Solution:    "proto-callback",
+			Subscribers: 8,
+			Resources:   2,
+			Cycles:      6,
+			Seed:        42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.KernelEvents
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(events)/elapsed, "kernel-events/s")
+	}
+}

@@ -1,0 +1,267 @@
+// Command benchcmp records and compares `go test -bench` results against
+// a committed JSON baseline — the repository's benchmark-regression gate.
+//
+// Record a baseline (aggregates -count repetitions by geometric mean):
+//
+//	go test -run XXX -bench . -benchtime 500ms -count 6 ./internal/sim |
+//	    go run ./cmd/benchcmp -record -out BENCH_kernel.json
+//
+// Compare a fresh run against the baseline (exit status 1 on regression):
+//
+//	go test -run XXX -bench . -benchtime 500ms -count 6 ./internal/sim |
+//	    go run ./cmd/benchcmp -baseline BENCH_kernel.json -threshold 1.20 -normalize Calibrate
+//
+// Two gates are applied:
+//
+//   - the geometric mean of per-benchmark time ratios (new/old) must not
+//     exceed -threshold;
+//   - a benchmark whose baseline allocs/op is 0 must still report 0
+//     (allocation regressions are deterministic, so they gate exactly).
+//
+// With -normalize NAME, every ratio is divided by the ratio of the named
+// calibration benchmark (a fixed arithmetic workload), which factors raw
+// machine speed out of cross-host comparisons: only changes in *shape*
+// relative to the calibration workload count.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed benchmark reference.
+type Baseline struct {
+	// Note documents how to refresh the file.
+	Note string `json:"note"`
+	// Go and CPU record the environment the baseline was taken on.
+	Go  string `json:"go,omitempty"`
+	CPU string `json:"cpu,omitempty"`
+	// Benchmarks maps benchmark name (without the "Benchmark" prefix and
+	// GOMAXPROCS suffix) to its aggregated result.
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// Result is one benchmark's aggregated measurement.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Samples     int     `json:"samples"`
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads `go test -bench` output, returning per-name samples
+// plus the cpu header value when present. Measurement lines are scanned
+// as (value, unit) field pairs after the iteration count, so custom
+// b.ReportMetric columns between ns/op and allocs/op are handled.
+func parseBench(r io.Reader) (map[string][]Result, string, error) {
+	samples := make(map[string][]Result)
+	var cpu string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(v)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), "")
+		var ns, allocs float64
+		haveNs := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, "", fmt.Errorf("benchcmp: bad value %q in %q: %w", fields[i], line, err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				ns, haveNs = v, true
+			case "allocs/op":
+				allocs = v
+			}
+		}
+		if !haveNs {
+			continue
+		}
+		samples[name] = append(samples[name], Result{NsPerOp: ns, AllocsPerOp: allocs})
+	}
+	return samples, cpu, sc.Err()
+}
+
+// aggregate folds repeated samples of one benchmark: geometric mean of
+// times (robust against multiplicative noise), maximum of allocs (they
+// are deterministic; any nonzero sample is a real allocation).
+func aggregate(samples map[string][]Result) map[string]Result {
+	out := make(map[string]Result, len(samples))
+	for name, ss := range samples {
+		logSum, allocs := 0.0, 0.0
+		for _, s := range ss {
+			logSum += math.Log(s.NsPerOp)
+			allocs = math.Max(allocs, s.AllocsPerOp)
+		}
+		out[name] = Result{
+			NsPerOp:     math.Exp(logSum / float64(len(ss))),
+			AllocsPerOp: allocs,
+			Samples:     len(ss),
+		}
+	}
+	return out
+}
+
+func readInput(args []string) (io.ReadCloser, error) {
+	if len(args) == 0 || args[0] == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(args[0])
+}
+
+func main() {
+	record := flag.Bool("record", false, "write a new baseline instead of comparing")
+	out := flag.String("out", "BENCH_kernel.json", "baseline file to write with -record")
+	baselinePath := flag.String("baseline", "", "baseline file to compare against")
+	threshold := flag.Float64("threshold", 1.20, "maximum allowed geomean time ratio (new/old)")
+	normalize := flag.String("normalize", "", "benchmark name whose ratio normalizes all others (machine-speed calibration)")
+	flag.Parse()
+
+	in, err := readInput(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	defer in.Close()
+	samples, cpu, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(samples) == 0 {
+		fatal(fmt.Errorf("benchcmp: no benchmark results in input"))
+	}
+	current := aggregate(samples)
+
+	if *record {
+		b := Baseline{
+			Note:       "Refresh with: make bench-baseline (see README, Performance & CI gates).",
+			Go:         runtime.Version(),
+			CPU:        cpu,
+			Benchmarks: current,
+		}
+		data, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchcmp: recorded %d benchmarks to %s\n", len(current), *out)
+		return
+	}
+
+	if *baselinePath == "" {
+		fatal(fmt.Errorf("benchcmp: need -record or -baseline"))
+	}
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("benchcmp: parse %s: %w", *baselinePath, err))
+	}
+
+	// Machine-speed calibration factor: divide every ratio by the
+	// calibration benchmark's own ratio.
+	calFactor := 1.0
+	if *normalize != "" {
+		cur, okC := current[*normalize]
+		old, okO := base.Benchmarks[*normalize]
+		if !okC || !okO {
+			fatal(fmt.Errorf("benchcmp: calibration benchmark %q missing from %s", *normalize,
+				map[bool]string{true: "baseline", false: "current run"}[okC]))
+		}
+		calFactor = cur.NsPerOp / old.NsPerOp
+		fmt.Printf("calibration %s: %.4g → %.4g ns/op (machine factor %.3f)\n",
+			*normalize, old.NsPerOp, cur.NsPerOp, calFactor)
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		if name == *normalize {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	logSum, compared := 0.0, 0
+	var allocRegressions, missing []string
+	fmt.Printf("%-28s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, name := range names {
+		old := base.Benchmarks[name]
+		cur, ok := current[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		ratio := cur.NsPerOp / old.NsPerOp / calFactor
+		logSum += math.Log(ratio)
+		compared++
+		fmt.Printf("%-28s %12.4g %12.4g %8.3f\n", name, old.NsPerOp, cur.NsPerOp, ratio)
+		if old.AllocsPerOp == 0 && cur.AllocsPerOp > 0 {
+			allocRegressions = append(allocRegressions,
+				fmt.Sprintf("%s: %.3g allocs/op (baseline 0)", name, cur.AllocsPerOp))
+		}
+	}
+	for name := range current {
+		if name == *normalize {
+			continue
+		}
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("note: %s not in baseline (add it with -record)\n", name)
+		}
+	}
+
+	failed := false
+	if len(missing) > 0 {
+		fmt.Printf("FAIL: baseline benchmarks missing from run: %s\n", strings.Join(missing, ", "))
+		failed = true
+	}
+	for _, r := range allocRegressions {
+		fmt.Printf("FAIL: allocation regression: %s\n", r)
+		failed = true
+	}
+	if compared > 0 {
+		geomean := math.Exp(logSum / float64(compared))
+		fmt.Printf("geomean ratio over %d benchmarks: %.3f (threshold %.2f)\n", compared, geomean, *threshold)
+		switch {
+		case geomean > *threshold:
+			fmt.Printf("FAIL: geomean %.3f exceeds threshold %.2f — performance regression\n", geomean, *threshold)
+			failed = true
+		case geomean < 1 / *threshold:
+			fmt.Printf("note: geomean %.3f is a >%.0f%% improvement — refresh the baseline to tighten the gate\n",
+				geomean, (*threshold-1)*100)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchcmp: OK")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -222,14 +222,14 @@ func RunWorkloadWith(sol Solution, cfg Config) (*Result, error) {
 	remaining := res.Expected
 	var runCycle func(sub string, part AppPart, cycle int)
 	runCycle = func(sub string, part AppPart, cycle int) {
-		kernel.Schedule(jitter(cfg.ThinkTime), func() {
+		kernel.ScheduleFunc(jitter(cfg.ThinkTime), func() {
 			target := env.Resources[kernel.Rand().Intn(len(env.Resources))]
 			start := kernel.Now()
 			part.Acquire(target, func() {
 				elapsed := kernel.Now() - start
 				res.AcquireLatency.Add(elapsed)
 				res.LatencyBySubscriber[sub].Add(elapsed)
-				kernel.Schedule(jitter(cfg.HoldTime), func() {
+				kernel.ScheduleFunc(jitter(cfg.HoldTime), func() {
 					part.Release(target)
 					res.Completed++
 					remaining--
@@ -249,7 +249,7 @@ func RunWorkloadWith(sol Solution, cfg Config) (*Result, error) {
 		}
 		runCycle(sub, part, 0)
 	}
-	kernel.Schedule(cfg.Deadline, func() { kernel.Stop() })
+	kernel.ScheduleFunc(cfg.Deadline, func() { kernel.Stop() })
 
 	if _, err := kernel.Run(); err != nil && !errors.Is(err, sim.ErrStopped) {
 		return nil, fmt.Errorf("floorcontrol: run %s: %w", sol.Name(), err)

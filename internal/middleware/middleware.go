@@ -307,3 +307,36 @@ func (p *Platform) send(from, to Addr, msg codec.Message) error {
 	}
 	return nil
 }
+
+// sendMulti marshals msg once and transmits it to every destination in
+// order — the fan-out path behind pub/sub event delivery. When the
+// transport supports batch fan-out (protocol.MultiSender), all deliveries
+// are scheduled under a single kernel lock; otherwise it degrades to a
+// Send loop with identical semantics. Wire counters advance exactly as if
+// send were called once per destination.
+func (p *Platform) sendMulti(from Addr, tos []Addr, msg codec.Message) error {
+	if len(tos) == 0 {
+		return nil
+	}
+	data, err := codec.EncodeMessage(msg)
+	if err != nil {
+		return fmt.Errorf("middleware: marshal %q: %w", msg.Name, err)
+	}
+	p.mu.Lock()
+	p.stats.WireMessages += uint64(len(tos))
+	p.stats.WireBytes += uint64(len(tos)) * uint64(len(data))
+	p.mu.Unlock()
+	if ms, ok := p.transport.(protocol.MultiSender); ok {
+		if err := ms.SendMulti(from, tos, data); err != nil {
+			return fmt.Errorf("middleware: wire fan-out from %s: %w", from, err)
+		}
+		return nil
+	}
+	var firstErr error
+	for _, to := range tos {
+		if err := p.transport.Send(from, to, data); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("middleware: wire send %s→%s: %w", from, to, err)
+		}
+	}
+	return firstErr
+}

@@ -255,7 +255,7 @@ func (p *Platform) onWire(src, at Addr, data []byte) {
 	overhead := p.profile.DispatchOverhead
 	handle := func() { p.handleWire(src, at, msg) }
 	if overhead > 0 {
-		p.kernel.Schedule(overhead, handle)
+		p.kernel.ScheduleFunc(overhead, handle)
 	} else {
 		handle()
 	}
@@ -398,22 +398,26 @@ func (p *Platform) handlePublish(msg codec.Message) {
 	topic, _ := topicV.(string)
 	p.mu.Lock()
 	t := p.topics[topic]
-	var subs []queueConsumer
+	var nodes []Addr
 	if t != nil {
-		subs = append(subs, t.subs...)
-		p.stats.EventDeliver += uint64(len(subs))
+		nodes = make([]Addr, len(t.subs))
+		for i, s := range t.subs {
+			nodes[i] = s.node
+		}
+		p.stats.EventDeliver += uint64(len(nodes))
 	}
 	p.mu.Unlock()
+	if len(nodes) == 0 {
+		return
+	}
 	nameV, _ := msg.Get("name")
 	fieldsV, _ := msg.Get("fields")
-	for _, s := range subs {
-		wire := codec.NewMessage("mw.event", codec.Record{
-			"topic":  topic,
-			"name":   nameV,
-			"fields": fieldsV,
-		})
-		_ = p.send(p.broker, s.node, wire) //nolint:errcheck
-	}
+	wire := codec.NewMessage("mw.event", codec.Record{
+		"topic":  topic,
+		"name":   nameV,
+		"fields": fieldsV,
+	})
+	_ = p.sendMulti(p.broker, nodes, wire) //nolint:errcheck // event delivery failure = event loss, acceptable for pub/sub sim
 }
 
 func (p *Platform) handleEvent(at Addr, msg codec.Message) {

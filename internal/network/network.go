@@ -16,6 +16,7 @@ package network
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -221,42 +222,84 @@ func (n *Network) Send(src, dst NodeID, payload []byte) error {
 	if _, ok := n.nodes[src]; !ok {
 		return fmt.Errorf("%w: source %q", ErrUnknownNode, src)
 	}
+	var batch [2]sim.BatchEntry
+	entries, err := n.transmitLocked(n.kernel.Rand(), src, dst, payload, batch[:0])
+	if err != nil {
+		return err
+	}
+	n.kernel.ScheduleBatch(entries)
+	return nil
+}
+
+// SendMulti transmits payload from src to every destination in order,
+// with per-destination link behaviour exactly as if Send were called once
+// per destination (same random-draw order, so traces are unchanged), but
+// schedules all resulting deliveries through the kernel's batch path in a
+// single lock acquisition. Destinations that fail validation (unknown
+// node, MTU) are skipped; the first such error is returned after all
+// other destinations have been processed.
+func (n *Network) SendMulti(src NodeID, dsts []NodeID, payload []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[src]; !ok {
+		return fmt.Errorf("%w: source %q", ErrUnknownNode, src)
+	}
+	var firstErr error
+	rng := n.kernel.Rand()
+	entries := make([]sim.BatchEntry, 0, len(dsts))
+	for _, dst := range dsts {
+		var err error
+		entries, err = n.transmitLocked(rng, src, dst, payload, entries)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	n.kernel.ScheduleBatch(entries)
+	return firstErr
+}
+
+// transmitLocked validates one src→dst datagram, applies partition, loss
+// and duplication, and appends the resulting delivery events (0, 1 or 2)
+// to entries. It must be called with n.mu held, and consumes kernel
+// randomness in a fixed order (loss, jitter, duplicate, duplicate jitter)
+// to keep traces deterministic.
+func (n *Network) transmitLocked(rng *rand.Rand, src, dst NodeID, payload []byte, entries []sim.BatchEntry) ([]sim.BatchEntry, error) {
 	if _, ok := n.nodes[dst]; !ok {
-		return fmt.Errorf("%w: destination %q", ErrUnknownNode, dst)
+		return entries, fmt.Errorf("%w: destination %q", ErrUnknownNode, dst)
 	}
 	cfg := n.linkFor(src, dst)
 	if cfg.MTU > 0 && len(payload) > cfg.MTU {
-		return fmt.Errorf("%w: %d > %d (link %s→%s)", ErrTooLarge, len(payload), cfg.MTU, src, dst)
+		return entries, fmt.Errorf("%w: %d > %d (link %s→%s)", ErrTooLarge, len(payload), cfg.MTU, src, dst)
 	}
 	n.stats.Sent++
 	n.stats.BytesSent += uint64(len(payload))
 	if n.partition[linkKey{src, dst}] {
 		n.stats.Dropped++
-		return nil
+		return entries, nil
 	}
-	rng := n.kernel.Rand()
 	if cfg.LossRate > 0 && rng.Float64() < cfg.LossRate {
 		n.stats.Dropped++
-		return nil
+		return entries, nil
 	}
 	buf := make([]byte, len(payload))
 	copy(buf, payload)
-	n.scheduleDelivery(src, dst, cfg, buf)
+	entries = append(entries, n.deliveryLocked(rng, src, dst, cfg, buf))
 	if cfg.DuplicateRate > 0 && rng.Float64() < cfg.DuplicateRate {
 		dup := make([]byte, len(buf))
 		copy(dup, buf)
-		n.scheduleDelivery(src, dst, cfg, dup)
+		entries = append(entries, n.deliveryLocked(rng, src, dst, cfg, dup))
 	}
-	return nil
+	return entries, nil
 }
 
-// scheduleDelivery must be called with n.mu held.
-func (n *Network) scheduleDelivery(src, dst NodeID, cfg LinkConfig, buf []byte) {
+// deliveryLocked draws the link jitter and builds the delivery event for
+// one datagram copy. It must be called with n.mu held.
+func (n *Network) deliveryLocked(rng *rand.Rand, src, dst NodeID, cfg LinkConfig, buf []byte) sim.BatchEntry {
 	delay := cfg.Latency
 	if cfg.Jitter > 0 {
-		delay += time.Duration(n.kernel.Rand().Int63n(int64(cfg.Jitter)))
+		delay += time.Duration(rng.Int63n(int64(cfg.Jitter)))
 	}
-	n.kernel.Schedule(delay, func() {
+	return sim.BatchEntry{Delay: delay, Fn: func() {
 		n.mu.Lock()
 		h, ok := n.nodes[dst]
 		if ok {
@@ -266,7 +309,7 @@ func (n *Network) scheduleDelivery(src, dst NodeID, cfg LinkConfig, buf []byte) 
 		if ok {
 			h(src, buf)
 		}
-	})
+	}}
 }
 
 // Stats returns a snapshot of the network counters.

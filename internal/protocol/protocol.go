@@ -49,6 +49,16 @@ type LowerService interface {
 	Send(src, dst Addr, pdu []byte) error
 }
 
+// MultiSender is an optional LowerService extension for fan-out: sending
+// one PDU to many destinations in a single call. Implementations must
+// behave exactly as repeated Send calls in destination order (including
+// randomness consumption, so traces stay deterministic), but may batch the
+// underlying work. Callers should type-assert and fall back to a Send
+// loop when the service does not implement it.
+type MultiSender interface {
+	SendMulti(src Addr, dsts []Addr, pdu []byte) error
+}
+
 // UnreliableDatagram adapts the simulated network directly: datagrams may
 // be lost, duplicated or reordered according to the link configuration
 // ("send and pray", §2).
@@ -94,4 +104,12 @@ func (u *UnreliableDatagram) Attach(addr Addr, r Receiver) error {
 // Send implements LowerService.
 func (u *UnreliableDatagram) Send(src, dst Addr, pdu []byte) error {
 	return u.net.Send(src, dst, pdu)
+}
+
+var _ MultiSender = (*UnreliableDatagram)(nil)
+
+// SendMulti implements MultiSender on the raw network's batch path: all
+// deliveries of the fan-out are scheduled under one kernel lock.
+func (u *UnreliableDatagram) SendMulti(src Addr, dsts []Addr, pdu []byte) error {
+	return u.net.SendMulti(src, dsts, pdu)
 }

@@ -37,6 +37,18 @@ func (r *SweepReport) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
 }
 
+// TotalMetric sums the named metric over all scenarios that report it.
+// The harness uses it to track aggregate simulation work (for example
+// "kernel_events", the event count of every scenario's private kernel)
+// as a platform-neutral cost proxy across sweeps.
+func (r *SweepReport) TotalMetric(name string) float64 {
+	total := 0.0
+	for _, s := range r.Scenarios {
+		total += s.Outcome.Metrics[name]
+	}
+	return total
+}
+
 // paramKeys returns the sorted union of parameter names across scenarios.
 func (r *SweepReport) paramKeys() []string {
 	set := make(map[string]struct{})

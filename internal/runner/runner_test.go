@@ -220,3 +220,17 @@ func TestMatrixSizeMatchesExpansion(t *testing.T) {
 		seen[s.ID] = struct{}{}
 	}
 }
+
+func TestTotalMetric(t *testing.T) {
+	rep := &SweepReport{Scenarios: []ScenarioResult{
+		{ID: "a", Outcome: Outcome{Metrics: map[string]float64{"kernel_events": 10, "other": 1}}},
+		{ID: "b", Outcome: Outcome{Metrics: map[string]float64{"kernel_events": 32}}},
+		{ID: "c"}, // no metrics at all
+	}}
+	if got := rep.TotalMetric("kernel_events"); got != 42 {
+		t.Fatalf("TotalMetric(kernel_events) = %v, want 42", got)
+	}
+	if got := rep.TotalMetric("absent"); got != 0 {
+		t.Fatalf("TotalMetric(absent) = %v, want 0", got)
+	}
+}

@@ -9,15 +9,34 @@
 //
 // The kernel is intentionally single-threaded: events run one at a time, in
 // (time, sequence) order. Public entry points are safe for concurrent use,
-// but event handlers themselves always execute sequentially.
+// but event handlers themselves always execute sequentially, and Run, RunUntil
+// and Step must not be called re-entrantly from inside a handler.
+//
+// # Hot path
+//
+// The scheduler is built for throughput on the steady-state path:
+//
+//   - the pending queue is a concrete 4-ary min-heap ([timerHeap]) with no
+//     container/heap interface boxing;
+//   - fire-and-forget scheduling (ScheduleFunc, ScheduleBatch) recycles
+//     Timer structs through a free list, so steady-state scheduling does
+//     not allocate;
+//   - the run loop pops all events of one instant in a single critical
+//     section and executes them outside the lock, coordinating with
+//     concurrent Cancel through a per-timer atomic state word instead of
+//     re-locking per event.
+//
+// Handle-returning scheduling (Schedule, ScheduleAt) stays fully
+// concurrency-safe: a Timer whose handle escaped is never recycled, so a
+// stale handle can never alias a later timer.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -41,14 +60,26 @@ func WithEventLimit(n int) Option {
 	return func(k *Kernel) { k.eventLimit = n }
 }
 
+// Timer lifecycle states. Transitions into and out of statePending happen
+// under the kernel mutex; the stateRunnable→stateDone transition is a CAS
+// raced between the run loop (about to execute) and Cancel, which is what
+// keeps the batch execution path lock-free.
+const (
+	stateDone     int32 = iota // fired, cancelled, or on the free list
+	statePending               // in the heap
+	stateRunnable              // popped into the current run batch
+)
+
 // Timer is a handle to a scheduled event. The zero value is not meaningful;
 // timers are created by Kernel.Schedule and Kernel.ScheduleAt.
 type Timer struct {
-	kernel *Kernel
-	seq    uint64
-	at     time.Duration
-	fn     func()
-	index  int // heap index; -1 once fired, cancelled or popped
+	kernel  *Kernel
+	seq     uint64
+	at      time.Duration
+	fn      func()
+	index   int32 // heap index; -1 while not in the heap
+	escaped bool  // handle returned to a caller; never recycled
+	state   atomic.Int32
 }
 
 // When reports the virtual time at which the timer will fire (or fired).
@@ -56,19 +87,32 @@ func (t *Timer) When() time.Duration { return t.at }
 
 // Cancel removes the timer from the schedule. It reports whether the timer
 // was still pending (true) or had already fired or been cancelled (false).
+// An event at the instant currently being executed can still be cancelled
+// by an earlier event of the same instant, exactly as if it were in the
+// heap.
 func (t *Timer) Cancel() bool {
 	if t == nil || t.kernel == nil {
 		return false
 	}
-	t.kernel.mu.Lock()
-	defer t.kernel.mu.Unlock()
-	if t.index < 0 {
+	k := t.kernel
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	switch t.state.Load() {
+	case statePending:
+		k.queue.remove(int(t.index))
+		t.state.Store(stateDone)
+		t.fn = nil
+		return true
+	case stateRunnable:
+		// The timer sits in an executing batch; race the run loop for it.
+		if t.state.CompareAndSwap(stateRunnable, stateDone) {
+			t.fn = nil
+			return true
+		}
+		return false
+	default:
 		return false
 	}
-	heap.Remove(&t.kernel.queue, t.index)
-	t.index = -1
-	t.fn = nil
-	return true
 }
 
 // Pending reports whether the timer is still scheduled.
@@ -78,7 +122,14 @@ func (t *Timer) Pending() bool {
 	}
 	t.kernel.mu.Lock()
 	defer t.kernel.mu.Unlock()
-	return t.index >= 0
+	return t.state.Load() != stateDone
+}
+
+// BatchEntry describes one fire-and-forget event for ScheduleBatch. A
+// negative Delay is treated as zero.
+type BatchEntry struct {
+	Delay time.Duration
+	Fn    func()
 }
 
 // Kernel is a deterministic discrete-event scheduler over virtual time.
@@ -87,11 +138,14 @@ type Kernel struct {
 	mu         sync.Mutex
 	now        time.Duration
 	seq        uint64
-	queue      timerQueue
+	queue      timerHeap
+	free       []*Timer // recycled non-escaped timers
+	batch      []*Timer // events of the instant being executed
 	rng        *rand.Rand
-	stopped    bool
-	executed   uint64
 	eventLimit int
+
+	stopped  atomic.Bool
+	executed atomic.Uint64
 }
 
 // NewKernel returns a kernel at virtual time zero.
@@ -112,34 +166,44 @@ func (k *Kernel) Now() time.Duration {
 
 // Executed returns the total number of events executed so far. It is used
 // by experiments as a platform-neutral proxy for computational work.
-func (k *Kernel) Executed() uint64 {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.executed
-}
+func (k *Kernel) Executed() uint64 { return k.executed.Load() }
 
 // Pending returns the number of scheduled, not yet executed events.
 func (k *Kernel) Pending() int {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	return k.queue.Len()
+	n := k.queue.len()
+	for _, t := range k.batch {
+		if t.state.Load() == stateRunnable {
+			n++
+		}
+	}
+	return n
 }
 
 // Rand returns the kernel's deterministic random source. It must only be
 // used from inside event handlers (or before the simulation starts) to keep
 // runs reproducible.
-func (k *Kernel) Rand() *rand.Rand { return k.rng }
+func (k *Kernel) Rand() *rand.Rand {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.rng
+}
 
 // Schedule arranges for fn to run after delay of virtual time. A negative
 // delay is treated as zero. Events scheduled for the same instant run in
 // scheduling order (FIFO).
+//
+// Schedule returns a cancellable handle; because the handle escapes, the
+// underlying Timer is never recycled. Callers that do not need to cancel
+// should prefer ScheduleFunc, which is allocation-free at steady state.
 func (k *Kernel) Schedule(delay time.Duration, fn func()) *Timer {
 	if delay < 0 {
 		delay = 0
 	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	return k.scheduleLocked(k.now+delay, fn)
+	return k.scheduleLocked(k.now+delay, fn, true)
 }
 
 // ScheduleAt arranges for fn to run at absolute virtual time at. Times in
@@ -150,41 +214,104 @@ func (k *Kernel) ScheduleAt(at time.Duration, fn func()) *Timer {
 	if at < k.now {
 		at = k.now
 	}
-	return k.scheduleLocked(at, fn)
+	return k.scheduleLocked(at, fn, true)
 }
 
-func (k *Kernel) scheduleLocked(at time.Duration, fn func()) *Timer {
+// ScheduleFunc is the fire-and-forget fast path: like Schedule, but it
+// returns no handle, which lets the kernel recycle the timer through its
+// free list. Steady-state ScheduleFunc+Run does not allocate.
+func (k *Kernel) ScheduleFunc(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	k.mu.Lock()
+	k.scheduleLocked(k.now+delay, fn, false)
+	k.mu.Unlock()
+}
+
+// ScheduleBatch schedules every entry under a single lock acquisition, in
+// slice order (so same-instant entries fire FIFO in slice order). Like
+// ScheduleFunc it returns no handles and recycles timers. It is the entry
+// point used by the simulated network for link delivery and by the
+// middleware platform for pub/sub fan-out.
+func (k *Kernel) ScheduleBatch(entries []BatchEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for i := range entries {
+		d := entries[i].Delay
+		if d < 0 {
+			d = 0
+		}
+		k.scheduleLocked(k.now+d, entries[i].Fn, false)
+	}
+}
+
+func (k *Kernel) scheduleLocked(at time.Duration, fn func(), escaped bool) *Timer {
 	if fn == nil {
 		panic("sim: Schedule called with nil function")
 	}
 	k.seq++
-	t := &Timer{kernel: k, seq: k.seq, at: at, fn: fn}
-	heap.Push(&k.queue, t)
+	var t *Timer
+	if n := len(k.free); n > 0 {
+		t = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		t = &Timer{kernel: k}
+	}
+	t.seq = k.seq
+	t.at = at
+	t.fn = fn
+	t.escaped = escaped
+	t.state.Store(statePending)
+	k.queue.push(t)
 	return t
+}
+
+// recycleBatchLocked returns executed (or cancelled) non-escaped timers of
+// the previous batch to the free list. Timers that were pushed back into
+// the heap by an aborted batch are statePending and skipped.
+func (k *Kernel) recycleBatchLocked() {
+	for i, t := range k.batch {
+		if !t.escaped && t.state.Load() == stateDone {
+			k.free = append(k.free, t)
+		}
+		k.batch[i] = nil
+	}
+	k.batch = k.batch[:0]
 }
 
 // Stop aborts any in-progress Run at the next event boundary. Pending
 // events remain queued.
-func (k *Kernel) Stop() {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	k.stopped = true
-}
+func (k *Kernel) Stop() { k.stopped.Store(true) }
 
 // Step executes the single next event, if any, advancing virtual time to
-// the event's instant. It reports whether an event was executed.
+// the event's instant. It reports whether an event was executed. Like the
+// Run variants, Step honours a preceding Stop: the stop flag is consumed
+// and no event runs.
 func (k *Kernel) Step() bool {
 	k.mu.Lock()
-	if k.queue.Len() == 0 {
+	k.recycleBatchLocked()
+	if k.stopped.CompareAndSwap(true, false) {
 		k.mu.Unlock()
 		return false
 	}
-	t := heap.Pop(&k.queue).(*Timer)
-	t.index = -1
+	if k.queue.len() == 0 {
+		k.mu.Unlock()
+		return false
+	}
+	t := k.queue.popMin()
+	t.state.Store(stateDone)
 	k.now = t.at
-	k.executed++
+	k.executed.Add(1)
 	fn := t.fn
 	t.fn = nil
+	if !t.escaped {
+		k.free = append(k.free, t)
+	}
 	k.mu.Unlock()
 	fn()
 	return true
@@ -202,7 +329,7 @@ func (k *Kernel) Run() (int, error) {
 // scheduled after the deadline stay queued.
 func (k *Kernel) RunUntil(deadline time.Duration) (int, error) {
 	n, err := k.run(func() bool {
-		return k.queue.Len() > 0 && k.queue[0].at <= deadline
+		return k.queue.min().at <= deadline
 	})
 	k.mu.Lock()
 	if k.now < deadline {
@@ -212,69 +339,79 @@ func (k *Kernel) RunUntil(deadline time.Duration) (int, error) {
 	return n, err
 }
 
-// run executes events while cond (evaluated under the lock) holds.
+// run executes events while cond (evaluated under the lock, with a
+// non-empty queue) holds.
+//
+// Each loop iteration pops every event of the earliest instant into a
+// batch in one critical section and executes the batch outside the lock:
+// the mutex is taken per instant, not per event. Handlers scheduling new
+// work for the same instant are still ordered correctly — their sequence
+// numbers exceed those of the batch, so they join the next batch of the
+// same instant. Stop and the event limit are checked between events
+// (lock-free), and an aborted batch pushes its unexecuted tail back into
+// the heap with the original (at, seq) keys, which restores the exact
+// order.
 func (k *Kernel) run(cond func() bool) (int, error) {
 	executed := 0
 	for {
 		k.mu.Lock()
-		if k.stopped {
-			k.stopped = false
+		k.recycleBatchLocked()
+		if k.stopped.CompareAndSwap(true, false) {
 			k.mu.Unlock()
 			return executed, ErrStopped
 		}
-		if k.queue.Len() == 0 || !cond() {
+		if k.queue.len() == 0 || !cond() {
 			k.mu.Unlock()
 			return executed, nil
 		}
+		// Check the limit before advancing the clock so the error (and
+		// Now) report the last *executed* instant, not the next one.
 		if k.eventLimit > 0 && executed >= k.eventLimit {
 			k.mu.Unlock()
 			return executed, fmt.Errorf("sim: event limit %d exceeded at t=%v", k.eventLimit, k.now)
 		}
-		t := heap.Pop(&k.queue).(*Timer)
-		t.index = -1
-		k.now = t.at
-		k.executed++
-		fn := t.fn
-		t.fn = nil
+		at := k.queue.min().at
+		k.now = at
+		for k.queue.len() > 0 && k.queue.min().at == at {
+			t := k.queue.popMin()
+			t.state.Store(stateRunnable)
+			k.batch = append(k.batch, t)
+		}
 		k.mu.Unlock()
-		fn()
-		executed++
+
+		for i, t := range k.batch {
+			if k.stopped.CompareAndSwap(true, false) {
+				k.abortBatchFrom(i)
+				return executed, ErrStopped
+			}
+			// i > 0 here: the boundary check above guarantees budget for
+			// the batch's first event, so an exhausted limit mid-batch
+			// always follows an executed event of this same instant.
+			if k.eventLimit > 0 && executed >= k.eventLimit {
+				k.abortBatchFrom(i)
+				return executed, fmt.Errorf("sim: event limit %d exceeded at t=%v", k.eventLimit, at)
+			}
+			if !t.state.CompareAndSwap(stateRunnable, stateDone) {
+				continue // cancelled while in the batch
+			}
+			fn := t.fn
+			t.fn = nil
+			k.executed.Add(1)
+			fn()
+			executed++
+		}
 	}
 }
 
-// timerQueue is a min-heap over (at, seq), so simultaneous events preserve
-// scheduling order.
-type timerQueue []*Timer
-
-var _ heap.Interface = (*timerQueue)(nil)
-
-func (q timerQueue) Len() int { return len(q) }
-
-func (q timerQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// abortBatchFrom pushes the unexecuted batch tail starting at index i back
+// into the heap and recycles the executed prefix.
+func (k *Kernel) abortBatchFrom(i int) {
+	k.mu.Lock()
+	for _, t := range k.batch[i:] {
+		if t.state.CompareAndSwap(stateRunnable, statePending) {
+			k.queue.push(t)
+		}
 	}
-	return q[i].seq < q[j].seq
-}
-
-func (q timerQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *timerQueue) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*q)
-	*q = append(*q, t)
-}
-
-func (q *timerQueue) Pop() any {
-	old := *q
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*q = old[:n-1]
-	return t
+	k.recycleBatchLocked()
+	k.mu.Unlock()
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -252,6 +253,125 @@ func TestStep(t *testing.T) {
 	}
 	if k.Step() {
 		t.Fatal("Step on empty queue should report false")
+	}
+}
+
+// TestEventLimitKeepsClockAtLastExecuted pins the abort semantics: when
+// the event limit trips, Now() and the error report the last *executed*
+// instant, not the instant of the event that would have run next.
+func TestEventLimitKeepsClockAtLastExecuted(t *testing.T) {
+	k := NewKernel(WithEventLimit(1))
+	k.Schedule(time.Millisecond, func() {})
+	k.Schedule(2*time.Millisecond, func() {})
+	n, err := k.Run()
+	if err == nil {
+		t.Fatal("expected event-limit error")
+	}
+	if n != 1 {
+		t.Fatalf("executed %d, want 1", n)
+	}
+	if k.Now() != time.Millisecond {
+		t.Fatalf("Now = %v, want 1ms (last executed instant)", k.Now())
+	}
+	if !strings.Contains(err.Error(), "t=1ms") {
+		t.Fatalf("error %q should report t=1ms", err)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", k.Pending())
+	}
+}
+
+func TestStepHonorsStop(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	k.Schedule(time.Millisecond, func() { fired = true })
+	k.Stop()
+	if k.Step() {
+		t.Fatal("Step after Stop should not execute an event")
+	}
+	if fired {
+		t.Fatal("event fired despite Stop")
+	}
+	// The stop flag is consumed, exactly as in Run: the next Step proceeds.
+	if !k.Step() {
+		t.Fatal("Step after a consumed stop should execute")
+	}
+	if !fired {
+		t.Fatal("event did not fire after consumed stop")
+	}
+}
+
+func TestScheduleFuncFIFOWithSchedule(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.Schedule(time.Millisecond, func() { got = append(got, 1) })
+	k.ScheduleFunc(time.Millisecond, func() { got = append(got, 2) })
+	k.Schedule(time.Millisecond, func() { got = append(got, 3) })
+	if _, err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if got[i] != want {
+			t.Fatalf("mixed-path FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestScheduleBatchOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.Schedule(2*time.Millisecond, func() { got = append(got, 10) })
+	k.ScheduleBatch([]BatchEntry{
+		{Delay: 2 * time.Millisecond, Fn: func() { got = append(got, 11) }},
+		{Delay: time.Millisecond, Fn: func() { got = append(got, 12) }},
+		{Delay: 2 * time.Millisecond, Fn: func() { got = append(got, 13) }},
+		{Delay: -time.Second, Fn: func() { got = append(got, 14) }}, // clamps to now
+	})
+	n, err := k.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("executed %d, want 5", n)
+	}
+	want := []int{14, 12, 10, 11, 13}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScheduleBatchNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil batch function")
+		}
+	}()
+	NewKernel().ScheduleBatch([]BatchEntry{{Fn: nil}})
+}
+
+// TestFreeListReuse pins the allocation-free steady state: after warm-up,
+// the fire-and-forget path must recycle timers instead of allocating.
+func TestFreeListReuse(t *testing.T) {
+	k := NewKernel()
+	fn := func() {}
+	for i := 0; i < 100; i++ {
+		k.ScheduleFunc(time.Duration(i)*time.Microsecond, fn)
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatalf("warm-up Run: %v", err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 100; i++ {
+			k.ScheduleFunc(time.Duration(i)*time.Microsecond, fn)
+		}
+		if _, err := k.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("steady-state ScheduleFunc+Run allocates %.1f per 100-event cycle, want ~0", allocs)
 	}
 }
 
