@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-smoke bench-kernel bench-baseline bench-regression sweep fig fmt vet check clean
+.PHONY: all build test bench bench-smoke bench-kernel bench-codec bench-baseline bench-baseline-codec bench-regression sweep fig fuzz cover fmt vet check clean
 
 all: check
 
@@ -21,15 +21,37 @@ bench-smoke:
 bench-kernel:
 	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/sim
 
-# Refresh the committed benchmark baseline (commit the result).
+# The codec benchmark suite at the CI gate's repetition count.
+bench-codec:
+	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/codec
+
+# Refresh the committed kernel benchmark baseline (commit the result).
 bench-baseline:
 	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/sim | \
 		$(GO) run ./cmd/benchcmp -record -out BENCH_kernel.json
 
-# The CI bench-regression gate, locally.
+# Refresh the committed codec benchmark baseline (commit the result).
+bench-baseline-codec:
+	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/codec | \
+		$(GO) run ./cmd/benchcmp -record -out BENCH_codec.json \
+			-note "Refresh with: make bench-baseline-codec (see README, Performance & CI gates)."
+
+# The CI bench-regression gates, locally.
 bench-regression:
 	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/sim | \
 		$(GO) run ./cmd/benchcmp -baseline BENCH_kernel.json -threshold 1.20 -normalize Calibrate
+	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/codec | \
+		$(GO) run ./cmd/benchcmp -baseline BENCH_codec.json -threshold 1.20 -normalize Calibrate
+
+# The CI fuzz job, locally (bounded).
+fuzz:
+	$(GO) test -fuzz FuzzKernelOrdering -fuzztime 60s -run XXX ./internal/sim
+	$(GO) test -fuzz FuzzCodecRoundTrip -fuzztime 60s -run XXX ./internal/codec
+
+# Coverage profile + per-function summary (the CI coverage job).
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # The default 120-scenario cross-product sweep (table to stdout).
 sweep:

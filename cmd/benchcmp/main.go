@@ -132,6 +132,8 @@ func readInput(args []string) (io.ReadCloser, error) {
 func main() {
 	record := flag.Bool("record", false, "write a new baseline instead of comparing")
 	out := flag.String("out", "BENCH_kernel.json", "baseline file to write with -record")
+	note := flag.String("note", "Refresh with: make bench-baseline (see README, Performance & CI gates).",
+		"note stored in the baseline with -record (how to refresh it)")
 	baselinePath := flag.String("baseline", "", "baseline file to compare against")
 	threshold := flag.Float64("threshold", 1.20, "maximum allowed geomean time ratio (new/old)")
 	normalize := flag.String("normalize", "", "benchmark name whose ratio normalizes all others (machine-speed calibration)")
@@ -153,7 +155,7 @@ func main() {
 
 	if *record {
 		b := Baseline{
-			Note:       "Refresh with: make bench-baseline (see README, Performance & CI gates).",
+			Note:       *note,
 			Go:         runtime.Version(),
 			CPU:        cpu,
 			Benchmarks: current,

@@ -43,7 +43,9 @@ func (e *SequencerEntity) FromUser(primitive string, _ codec.Record) error {
 	return fmt.Errorf("chat: sequencer has no service user (got %q)", primitive)
 }
 
-// FromPeer implements protocol.Entity.
+// FromPeer implements protocol.Entity. The ordered broadcast is encoded
+// once and fanned out to every member through SendPDUMulti, instead of
+// re-marshalling the same PDU per member.
 func (e *SequencerEntity) FromPeer(src protocol.Addr, pdu codec.Message) error {
 	if pdu.Name != pduSubmit {
 		return fmt.Errorf("chat: unexpected PDU %q at sequencer", pdu.Name)
@@ -53,12 +55,7 @@ func (e *SequencerEntity) FromPeer(src protocol.Addr, pdu codec.Message) error {
 		ParamText:    pdu.Fields[ParamText],
 		ParamSpeaker: string(src),
 	})
-	for _, m := range e.members {
-		if err := e.ctx.SendPDU(m, bcast); err != nil {
-			return err
-		}
-	}
-	return nil
+	return e.ctx.SendPDUMulti(e.members, bcast)
 }
 
 // ParticipantEntity translates between chat primitives and the sequencer

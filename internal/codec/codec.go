@@ -21,7 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Errors returned by decoding. Decode wraps them with positional context;
@@ -33,6 +33,10 @@ var (
 	ErrUnsupported = errors.New("codec: unsupported Go type")
 	ErrTrailing    = errors.New("codec: trailing bytes after value")
 	ErrSize        = errors.New("codec: declared size exceeds input")
+	// ErrNonCanonical is reported by ParseMessage for messages whose
+	// top-level field keys are not strictly ascending — input no encoder
+	// in this codec can produce (see MsgView).
+	ErrNonCanonical = errors.New("codec: record keys not in canonical order")
 )
 
 // maxDepth bounds nesting of lists and records to keep decoding of
@@ -132,11 +136,17 @@ func appendValue(buf []byte, v Value, depth int) ([]byte, error) {
 	case map[string]Value:
 		buf = append(buf, tagRecord)
 		buf = binary.AppendUvarint(buf, uint64(len(x)))
-		keys := make([]string, 0, len(x))
+		// Sort keys on the stack for typical (small) records; only
+		// oversized ones pay for a heap slice.
+		var arr [16]string
+		keys := arr[:0]
+		if len(x) > len(arr) {
+			keys = make([]string, 0, len(x))
+		}
 		for k := range x {
 			keys = append(keys, k)
 		}
-		sort.Strings(keys)
+		slices.Sort(keys)
 		var err error
 		for _, k := range keys {
 			buf = append(buf, tagString)

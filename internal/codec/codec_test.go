@@ -2,6 +2,7 @@ package codec
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"reflect"
 	"strings"
@@ -165,6 +166,97 @@ func TestDecodePrefix(t *testing.T) {
 	}
 }
 
+// TestDecodePrefixPositions pins the byte positions DecodePrefix
+// reports: exact consumed counts on success, zero consumed on failure,
+// and the position embedded in Decode's ErrTrailing message.
+func TestDecodePrefixPositions(t *testing.T) {
+	values := []struct {
+		name string
+		v    Value
+	}{
+		{"nil", nil},
+		{"bool", true},
+		{"int", int64(-300)},
+		{"uint", uint64(1 << 40)},
+		{"float", 1.5},
+		{"string", "abcdef"},
+		{"bytes", []byte{1, 2, 3}},
+		{"list", List{int64(1), "x"}},
+		{"record", Record{"k": List{nil}}},
+	}
+	for _, tt := range values {
+		t.Run(tt.name, func(t *testing.T) {
+			enc := MustEncode(tt.v)
+			// Appending a second value must not disturb the first value's
+			// reported length.
+			data := append(append([]byte{}, enc...), MustEncode("tail")...)
+			_, n, err := DecodePrefix(data)
+			if err != nil {
+				t.Fatalf("DecodePrefix: %v", err)
+			}
+			if n != len(enc) {
+				t.Fatalf("consumed %d bytes, want %d", n, len(enc))
+			}
+			// Every strict prefix of a single value is truncated or
+			// otherwise invalid, and reports zero consumed bytes.
+			for cut := 0; cut < len(enc); cut++ {
+				v, n, err := DecodePrefix(enc[:cut])
+				if err == nil {
+					t.Fatalf("DecodePrefix(%x) = %v, want error", enc[:cut], v)
+				}
+				if n != 0 {
+					t.Fatalf("failed DecodePrefix consumed %d bytes, want 0", n)
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeTrailingReportsPosition(t *testing.T) {
+	enc := MustEncode(int64(7))
+	data := append(append([]byte{}, enc...), 0xAA, 0xBB)
+	_, err := Decode(data)
+	if !errors.Is(err, ErrTrailing) {
+		t.Fatalf("err = %v, want ErrTrailing", err)
+	}
+	want := fmt.Sprintf("%d of %d bytes consumed", len(enc), len(data))
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("err = %q, want position %q", err, want)
+	}
+}
+
+func TestDepthLimitBoundary(t *testing.T) {
+	// Exactly maxDepth nested lists decode; one more trips ErrDepth. The
+	// error context names the failing element chain.
+	build := func(depth int) []byte {
+		var data []byte
+		for i := 0; i < depth; i++ {
+			data = append(data, tagList, 1)
+		}
+		return append(data, tagNil)
+	}
+	if _, err := Decode(build(maxDepth)); err != nil {
+		t.Fatalf("depth %d should decode: %v", maxDepth, err)
+	}
+	_, err := Decode(build(maxDepth + 1))
+	if !errors.Is(err, ErrDepth) {
+		t.Fatalf("depth %d err = %v, want ErrDepth", maxDepth+1, err)
+	}
+	if !strings.Contains(err.Error(), "list element 0") {
+		t.Fatalf("err = %q, want nesting context", err)
+	}
+	// The same boundary holds for the non-materializing walkers.
+	if _, err := skipValue(build(maxDepth), 0); err != nil {
+		t.Fatalf("skipValue at depth %d: %v", maxDepth, err)
+	}
+	if _, err := skipValue(build(maxDepth+1), 0); !errors.Is(err, ErrDepth) {
+		t.Fatalf("skipValue err = %v, want ErrDepth", err)
+	}
+	if err := DecodeInto(build(maxDepth+1), nopVis); !errors.Is(err, ErrDepth) {
+		t.Fatalf("DecodeInto err = %v, want ErrDepth", err)
+	}
+}
+
 func TestEqual(t *testing.T) {
 	if !Equal(Record{"a": int64(1)}, Record{"a": int64(1)}) {
 		t.Fatal("equal records reported unequal")
@@ -312,26 +404,5 @@ func TestPropertyZigzag(t *testing.T) {
 	}
 }
 
-func BenchmarkEncodeMessage(b *testing.B) {
-	m := NewMessage("request", Record{"subid": "subscriber-17", "resid": "resource-3", "seq": int64(12345)})
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := EncodeMessage(m); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkDecodeMessage(b *testing.B) {
-	m := NewMessage("request", Record{"subid": "subscriber-17", "resid": "resource-3", "seq": int64(12345)})
-	data, err := EncodeMessage(m)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := DecodeMessage(data); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// The package benchmarks (the CI-gated performance surface) live in
+// bench_test.go.

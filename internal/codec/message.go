@@ -53,7 +53,15 @@ func (m Message) String() string {
 // EncodeMessage produces the canonical wire form of m: the name as a
 // string value followed by the fields as a record.
 func EncodeMessage(m Message) ([]byte, error) {
-	buf, err := Append(nil, m.Name)
+	return AppendMessage(nil, m)
+}
+
+// AppendMessage appends the canonical wire form of m to buf, returning
+// the extended slice — EncodeMessage into a caller-supplied (typically
+// pooled) buffer. For fixed message shapes, a compiled Schema encodes
+// the same bytes without building the Fields map at all.
+func AppendMessage(buf []byte, m Message) ([]byte, error) {
+	buf, err := Append(buf, m.Name)
 	if err != nil {
 		return nil, fmt.Errorf("encode message name: %w", err)
 	}

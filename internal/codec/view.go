@@ -1,0 +1,501 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file is the allocation-free decode plane: MsgView walks a message
+// in place without materializing boxed Value trees, and DecodeInto drives
+// a Visitor over any value for callers that need the full structure.
+//
+// ALIASING RULES: every []byte returned by a MsgView accessor (Name, Str,
+// Bytes, Raw) and passed to a Visitor (Str, Bytes, Key) aliases the input
+// buffer. It is valid only until the caller returns control to whoever
+// owns that buffer — for wire messages, until the delivery callback
+// returns (the network recycles delivery buffers). Retain with an
+// explicit copy. Materializing accessors (Record, Message, Value) copy
+// and are safe to retain.
+
+// RawNil is the complete wire encoding of the nil value — the fallback
+// for splicing an absent field into an Encoder with Raw. Callers must
+// not modify it.
+var RawNil = []byte{tagNil}
+
+// skipValue returns the length of the single value at the front of data
+// without materializing it.
+func skipValue(data []byte, depth int) (int, error) {
+	if depth > maxDepth {
+		return 0, ErrDepth
+	}
+	if len(data) == 0 {
+		return 0, ErrTruncated
+	}
+	rest := data[1:]
+	switch tag := data[0]; tag {
+	case tagNil, tagFalse, tagTrue:
+		return 1, nil
+	case tagInt, tagUint:
+		_, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, ErrTruncated
+		}
+		return 1 + n, nil
+	case tagFloat:
+		if len(rest) < 8 {
+			return 0, ErrTruncated
+		}
+		return 9, nil
+	case tagString, tagBytes:
+		_, n, err := decodeLenPrefixed(rest)
+		if err != nil {
+			return 0, err
+		}
+		return 1 + n, nil
+	case tagList:
+		count, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, ErrTruncated
+		}
+		if count > uint64(len(rest)) {
+			return 0, fmt.Errorf("%w: list of %d elements in %d bytes", ErrSize, count, len(rest))
+		}
+		consumed := 1 + n
+		for i := uint64(0); i < count; i++ {
+			m, err := skipValue(data[consumed:], depth+1)
+			if err != nil {
+				return 0, fmt.Errorf("list element %d: %w", i, err)
+			}
+			consumed += m
+		}
+		return consumed, nil
+	case tagRecord:
+		count, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, ErrTruncated
+		}
+		if count > uint64(len(rest)) {
+			return 0, fmt.Errorf("%w: record of %d fields in %d bytes", ErrSize, count, len(rest))
+		}
+		consumed := 1 + n
+		for i := uint64(0); i < count; i++ {
+			if consumed >= len(data) || data[consumed] != tagString {
+				return 0, fmt.Errorf("record field %d: %w (key must be string)", i, ErrBadTag)
+			}
+			_, kn, err := decodeLenPrefixed(data[consumed+1:])
+			if err != nil {
+				return 0, fmt.Errorf("record field %d key: %w", i, err)
+			}
+			consumed += 1 + kn
+			m, err := skipValue(data[consumed:], depth+1)
+			if err != nil {
+				return 0, fmt.Errorf("record field %d: %w", i, err)
+			}
+			consumed += m
+		}
+		return consumed, nil
+	default:
+		return 0, fmt.Errorf("%w: 0x%02x", ErrBadTag, tag)
+	}
+}
+
+// MsgView is a zero-copy window on one encoded message (the wire form of
+// EncodeMessage). ParseMessage validates the whole message once; the
+// typed accessors then read individual fields directly from the wire
+// bytes without allocating. See the package aliasing rules above.
+type MsgView struct {
+	name   []byte
+	pairs  []byte // the field pairs, immediately after the record header
+	fields int
+}
+
+// ParseMessage validates data as one complete message and returns a view
+// over it. The message is fully structure-checked here (well-formed
+// values, string keys, no trailing bytes), so accessor misses mean
+// "field absent or wrong type", never "corrupt input".
+//
+// ParseMessage additionally requires the top-level field keys to be in
+// canonical form — strictly ascending, hence unique — which is the only
+// form any encoder in this package produces. Non-canonical messages fail
+// with ErrNonCanonical (the legacy DecodeMessage tolerates them by map
+// overwrite); this is what lets the sorted-order early exit in field
+// lookup be exact rather than heuristic.
+func ParseMessage(data []byte) (MsgView, error) {
+	if len(data) == 0 || data[0] != tagString {
+		return MsgView{}, fmt.Errorf("decode message name: %w", errOrTruncated(data))
+	}
+	name, n, err := decodeLenPrefixed(data[1:])
+	if err != nil {
+		return MsgView{}, fmt.Errorf("decode message name: %w", err)
+	}
+	rest := data[1+n:]
+	if len(rest) == 0 || rest[0] != tagRecord {
+		return MsgView{}, fmt.Errorf("decode message %q: fields are not a record: %w", name, errOrTruncated(rest))
+	}
+	count, cn := binary.Uvarint(rest[1:])
+	if cn <= 0 {
+		return MsgView{}, fmt.Errorf("decode message %q fields: %w", name, ErrTruncated)
+	}
+	if count > uint64(len(rest)) {
+		return MsgView{}, fmt.Errorf("decode message %q fields: %w: record of %d fields in %d bytes",
+			name, ErrSize, count, len(rest))
+	}
+	pairs := rest[1+cn:]
+	p := pairs
+	var prev []byte
+	for i := uint64(0); i < count; i++ {
+		if len(p) == 0 || p[0] != tagString {
+			return MsgView{}, fmt.Errorf("decode message %q field %d: %w (key must be string)", name, i, ErrBadTag)
+		}
+		key, kn, err := decodeLenPrefixed(p[1:])
+		if err != nil {
+			return MsgView{}, fmt.Errorf("decode message %q field %d key: %w", name, i, err)
+		}
+		if i > 0 && bytes.Compare(prev, key) >= 0 {
+			return MsgView{}, fmt.Errorf("decode message %q: key %q after %q: %w", name, key, prev, ErrNonCanonical)
+		}
+		prev = key
+		p = p[1+kn:]
+		m, err := skipValue(p, 1)
+		if err != nil {
+			return MsgView{}, fmt.Errorf("decode message %q field %q: %w", name, key, err)
+		}
+		p = p[m:]
+	}
+	if len(p) != 0 {
+		return MsgView{}, fmt.Errorf("decode message %q: %w", name, ErrTrailing)
+	}
+	return MsgView{name: name, pairs: pairs, fields: int(count)}, nil
+}
+
+// errOrTruncated distinguishes "nothing there" from "wrong tag".
+func errOrTruncated(data []byte) error {
+	if len(data) == 0 {
+		return ErrTruncated
+	}
+	return fmt.Errorf("%w: 0x%02x", ErrBadTag, data[0])
+}
+
+// Name returns the message name as raw bytes aliasing the input. Compare
+// with string(v.Name()) == "x" or switch on string(v.Name()) — the
+// compiler performs both without allocating.
+func (v *MsgView) Name() []byte { return v.name }
+
+// NameIs reports whether the message name equals s.
+func (v *MsgView) NameIs(s string) bool { return string(v.name) == s }
+
+// Len returns the number of fields.
+func (v *MsgView) Len() int { return v.fields }
+
+// lookup returns the raw TLV bytes of the named field. Keys are sorted
+// on the wire, so the scan stops early once past name. The structure was
+// validated by ParseMessage, so navigation errors cannot occur.
+func (v *MsgView) lookup(name string) []byte {
+	p := v.pairs
+	for i := 0; i < v.fields; i++ {
+		key, kn, err := decodeLenPrefixed(p[1:]) // p[0] == tagString, validated
+		if err != nil {
+			return nil
+		}
+		p = p[1+kn:]
+		n, err := skipValue(p, 0)
+		if err != nil {
+			return nil
+		}
+		switch compareKey(key, name) {
+		case 0:
+			return p[:n]
+		case 1:
+			return nil // sorted: name cannot appear later
+		}
+		p = p[n:]
+	}
+	return nil
+}
+
+// compareKey orders a wire key against a field name without converting
+// either (bytes.Compare would need an allocating []byte(name)).
+func compareKey(key []byte, name string) int {
+	n := len(key)
+	if len(name) < n {
+		n = len(name)
+	}
+	for i := 0; i < n; i++ {
+		if key[i] != name[i] {
+			if key[i] < name[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(key) < len(name):
+		return -1
+	case len(key) > len(name):
+		return 1
+	}
+	return 0
+}
+
+// Uint returns a tagUint field.
+func (v *MsgView) Uint(name string) (uint64, bool) {
+	raw := v.lookup(name)
+	if len(raw) == 0 || raw[0] != tagUint {
+		return 0, false
+	}
+	u, n := binary.Uvarint(raw[1:])
+	return u, n > 0
+}
+
+// Int returns a tagInt field.
+func (v *MsgView) Int(name string) (int64, bool) {
+	raw := v.lookup(name)
+	if len(raw) == 0 || raw[0] != tagInt {
+		return 0, false
+	}
+	u, n := binary.Uvarint(raw[1:])
+	return unzigzag(u), n > 0
+}
+
+// Bool returns a boolean field.
+func (v *MsgView) Bool(name string) (val, ok bool) {
+	raw := v.lookup(name)
+	if len(raw) == 0 {
+		return false, false
+	}
+	switch raw[0] {
+	case tagTrue:
+		return true, true
+	case tagFalse:
+		return false, true
+	}
+	return false, false
+}
+
+// Float returns a tagFloat field.
+func (v *MsgView) Float(name string) (float64, bool) {
+	raw := v.lookup(name)
+	if len(raw) != 9 || raw[0] != tagFloat {
+		return 0, false
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(raw[1:])), true
+}
+
+// Str returns the payload of a string field, aliasing the input buffer.
+func (v *MsgView) Str(name string) ([]byte, bool) {
+	raw := v.lookup(name)
+	if len(raw) == 0 || raw[0] != tagString {
+		return nil, false
+	}
+	s, _, err := decodeLenPrefixed(raw[1:])
+	return s, err == nil
+}
+
+// Bytes returns the payload of a bytes field, aliasing the input buffer.
+func (v *MsgView) Bytes(name string) ([]byte, bool) {
+	raw := v.lookup(name)
+	if len(raw) == 0 || raw[0] != tagBytes {
+		return nil, false
+	}
+	s, _, err := decodeLenPrefixed(raw[1:])
+	return s, err == nil
+}
+
+// Raw returns the complete TLV encoding of the named field's value,
+// aliasing the input buffer — ready to splice into an Encoder with Raw.
+func (v *MsgView) Raw(name string) ([]byte, bool) {
+	raw := v.lookup(name)
+	return raw, raw != nil
+}
+
+// Record materializes a nested record field as a boxed Record (copying;
+// safe to retain).
+func (v *MsgView) Record(name string) (Record, bool) {
+	raw := v.lookup(name)
+	if len(raw) == 0 || raw[0] != tagRecord {
+		return nil, false
+	}
+	val, _, err := decodeValue(raw, 0)
+	if err != nil {
+		return nil, false
+	}
+	rec, ok := val.(map[string]Value)
+	return rec, ok
+}
+
+// Value materializes any field as a boxed Value (copying).
+func (v *MsgView) Value(name string) (Value, bool) {
+	raw := v.lookup(name)
+	if raw == nil {
+		return nil, false
+	}
+	val, _, err := decodeValue(raw, 0)
+	if err != nil {
+		return nil, false
+	}
+	return val, true
+}
+
+// Message materializes the whole view as a boxed Message — the
+// compatibility bridge to APIs that take codec.Message.
+func (v *MsgView) Message() (Message, error) {
+	rec := make(Record, v.fields)
+	p := v.pairs
+	for i := 0; i < v.fields; i++ {
+		key, kn, err := decodeLenPrefixed(p[1:])
+		if err != nil {
+			return Message{}, err
+		}
+		p = p[1+kn:]
+		val, n, err := decodeValue(p, 1)
+		if err != nil {
+			return Message{}, fmt.Errorf("decode message %q field %q: %w", v.name, key, err)
+		}
+		rec[string(key)] = val
+		p = p[n:]
+	}
+	return Message{Name: string(v.name), Fields: rec}, nil
+}
+
+// Visitor receives the structure of a value during DecodeInto, in wire
+// order, without any boxing. Str, Bytes and Key arguments alias the
+// input buffer (see the aliasing rules at the top of this file). Any
+// non-nil error aborts the walk and is returned by DecodeInto.
+type Visitor interface {
+	Nil() error
+	Bool(v bool) error
+	Int(v int64) error
+	Uint(v uint64) error
+	Float(v float64) error
+	Str(v []byte) error
+	Bytes(v []byte) error
+	// ListStart/ListEnd bracket a list's count elements.
+	ListStart(count int) error
+	ListEnd() error
+	// RecordStart/RecordEnd bracket a record; Key precedes each value.
+	RecordStart(count int) error
+	Key(k []byte) error
+	RecordEnd() error
+}
+
+// DecodeInto walks exactly one encoded value, feeding its structure to
+// vis without materializing anything, and fails with ErrTrailing if
+// bytes remain. It is the streaming counterpart of Decode.
+func DecodeInto(data []byte, vis Visitor) error {
+	n, err := decodeIntoValue(data, vis, 0)
+	if err != nil {
+		return err
+	}
+	if n != len(data) {
+		return fmt.Errorf("%w: %d of %d bytes consumed", ErrTrailing, n, len(data))
+	}
+	return nil
+}
+
+// DecodePrefixInto walks one value from the front of data into vis and
+// returns the number of bytes consumed.
+func DecodePrefixInto(data []byte, vis Visitor) (int, error) {
+	return decodeIntoValue(data, vis, 0)
+}
+
+func decodeIntoValue(data []byte, vis Visitor, depth int) (int, error) {
+	if depth > maxDepth {
+		return 0, ErrDepth
+	}
+	if len(data) == 0 {
+		return 0, ErrTruncated
+	}
+	rest := data[1:]
+	switch tag := data[0]; tag {
+	case tagNil:
+		return 1, vis.Nil()
+	case tagFalse:
+		return 1, vis.Bool(false)
+	case tagTrue:
+		return 1, vis.Bool(true)
+	case tagInt:
+		u, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, ErrTruncated
+		}
+		return 1 + n, vis.Int(unzigzag(u))
+	case tagUint:
+		u, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, ErrTruncated
+		}
+		return 1 + n, vis.Uint(u)
+	case tagFloat:
+		if len(rest) < 8 {
+			return 0, ErrTruncated
+		}
+		return 9, vis.Float(math.Float64frombits(binary.BigEndian.Uint64(rest)))
+	case tagString:
+		s, n, err := decodeLenPrefixed(rest)
+		if err != nil {
+			return 0, err
+		}
+		return 1 + n, vis.Str(s)
+	case tagBytes:
+		s, n, err := decodeLenPrefixed(rest)
+		if err != nil {
+			return 0, err
+		}
+		return 1 + n, vis.Bytes(s)
+	case tagList:
+		count, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, ErrTruncated
+		}
+		if count > uint64(len(rest)) {
+			return 0, fmt.Errorf("%w: list of %d elements in %d bytes", ErrSize, count, len(rest))
+		}
+		if err := vis.ListStart(int(count)); err != nil {
+			return 0, err
+		}
+		consumed := 1 + n
+		for i := uint64(0); i < count; i++ {
+			m, err := decodeIntoValue(data[consumed:], vis, depth+1)
+			if err != nil {
+				return 0, fmt.Errorf("list element %d: %w", i, err)
+			}
+			consumed += m
+		}
+		return consumed, vis.ListEnd()
+	case tagRecord:
+		count, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, ErrTruncated
+		}
+		if count > uint64(len(rest)) {
+			return 0, fmt.Errorf("%w: record of %d fields in %d bytes", ErrSize, count, len(rest))
+		}
+		if err := vis.RecordStart(int(count)); err != nil {
+			return 0, err
+		}
+		consumed := 1 + n
+		for i := uint64(0); i < count; i++ {
+			if consumed >= len(data) || data[consumed] != tagString {
+				return 0, fmt.Errorf("record field %d: %w (key must be string)", i, ErrBadTag)
+			}
+			key, kn, err := decodeLenPrefixed(data[consumed+1:])
+			if err != nil {
+				return 0, fmt.Errorf("record field %d key: %w", i, err)
+			}
+			if err := vis.Key(key); err != nil {
+				return 0, err
+			}
+			consumed += 1 + kn
+			m, err := decodeIntoValue(data[consumed:], vis, depth+1)
+			if err != nil {
+				return 0, fmt.Errorf("record field %q: %w", key, err)
+			}
+			consumed += m
+		}
+		return consumed, vis.RecordEnd()
+	default:
+		return 0, fmt.Errorf("%w: 0x%02x", ErrBadTag, tag)
+	}
+}

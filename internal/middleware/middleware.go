@@ -292,12 +292,10 @@ func (p *Platform) Resolve(ref ObjRef) (Addr, bool) {
 	return reg.node, ok
 }
 
-// send marshals and transmits one wire message, counting it.
-func (p *Platform) send(from, to Addr, msg codec.Message) error {
-	data, err := codec.EncodeMessage(msg)
-	if err != nil {
-		return fmt.Errorf("middleware: marshal %q: %w", msg.Name, err)
-	}
+// sendData transmits one already-encoded wire message, counting it. The
+// transport copies synchronously (LowerService.Send contract), so data
+// may live in a pooled scratch buffer the caller recycles on return.
+func (p *Platform) sendData(from, to Addr, data []byte) error {
 	p.mu.Lock()
 	p.stats.WireMessages++
 	p.stats.WireBytes += uint64(len(data))
@@ -308,19 +306,17 @@ func (p *Platform) send(from, to Addr, msg codec.Message) error {
 	return nil
 }
 
-// sendMulti marshals msg once and transmits it to every destination in
-// order — the fan-out path behind pub/sub event delivery. When the
-// transport supports batch fan-out (protocol.MultiSender), all deliveries
-// are scheduled under a single kernel lock; otherwise it degrades to a
-// Send loop with identical semantics. Wire counters advance exactly as if
-// send were called once per destination.
-func (p *Platform) sendMulti(from Addr, tos []Addr, msg codec.Message) error {
+// sendMultiData transmits one encoded message to every destination in
+// order — the fan-out path behind pub/sub event delivery: the message is
+// marshalled once by the caller and the single buffer serves every
+// subscriber. When the transport supports batch fan-out
+// (protocol.MultiSender), all deliveries are scheduled under a single
+// kernel lock; otherwise it degrades to a Send loop with identical
+// semantics. Wire counters advance exactly as if sendData were called
+// once per destination.
+func (p *Platform) sendMultiData(from Addr, tos []Addr, data []byte) error {
 	if len(tos) == 0 {
 		return nil
-	}
-	data, err := codec.EncodeMessage(msg)
-	if err != nil {
-		return fmt.Errorf("middleware: marshal %q: %w", msg.Name, err)
 	}
 	p.mu.Lock()
 	p.stats.WireMessages += uint64(len(tos))

@@ -6,6 +6,36 @@ import (
 	"repro/internal/codec"
 )
 
+// Compiled wire-message schemas of the implicit protocol. Encoding
+// through them appends straight into pooled scratch buffers — no field
+// map is built and no key sorting happens per message. Field order in
+// the encode calls below is the canonical (sorted) order the schemas
+// enforce; the bytes are identical to the legacy EncodeMessage path.
+var (
+	schemaCall     = codec.CompileSchema("mw.call", "args", "id", "op", "target")
+	schemaOneway   = codec.CompileSchema("mw.oneway", "args", "op", "target")
+	schemaReplyOK  = codec.CompileSchema("mw.reply", "id", "result")
+	schemaReplyErr = codec.CompileSchema("mw.reply", "error", "id")
+	schemaEnqueue  = codec.CompileSchema("mw.enqueue", "fields", "name", "queue")
+	schemaDeliver  = codec.CompileSchema("mw.deliver", "fields", "name", "queue")
+	schemaPublish  = codec.CompileSchema("mw.publish", "fields", "name", "topic")
+	schemaEvent    = codec.CompileSchema("mw.event", "fields", "name", "topic")
+)
+
+// finishSend completes an encode into buf and transmits it from→to,
+// recycling the buffer either way.
+func (p *Platform) finishSend(buf *codec.Buffer, e *codec.Encoder, from, to Addr) error {
+	data, err := e.Finish()
+	if err != nil {
+		buf.Release()
+		return fmt.Errorf("middleware: marshal: %w", err)
+	}
+	sendErr := p.sendData(from, to, data)
+	buf.B = data
+	buf.Release()
+	return sendErr
+}
+
 // Invoke performs a request/response interaction (the RPC pattern): the
 // operation is marshalled, carried to the object's hosting node by the
 // implicit wire protocol, dispatched, and the reply returned to cont. The
@@ -41,13 +71,13 @@ func (p *Platform) Invoke(from Addr, target ObjRef, op string, args codec.Record
 	p.stats.Calls++
 	p.mu.Unlock()
 
-	msg := codec.NewMessage("mw.call", codec.Record{
-		"id":     id,
-		"target": string(target),
-		"op":     op,
-		"args":   codec.Record(args),
-	})
-	if err := p.send(from, reg.node, msg); err != nil {
+	buf := codec.GetBuffer()
+	e := schemaCall.Encoder(buf.B[:0])
+	e.Value("args", args)
+	e.Uint("id", id)
+	e.Str("op", op)
+	e.Str("target", string(target))
+	if err := p.finishSend(buf, &e, from, reg.node); err != nil {
 		p.mu.Lock()
 		if pc, ok := p.pending[id]; ok {
 			if pc.timer != nil {
@@ -91,12 +121,12 @@ func (p *Platform) InvokeOneway(from Addr, target ObjRef, op string, args codec.
 	}
 	p.stats.Oneways++
 	p.mu.Unlock()
-	msg := codec.NewMessage("mw.oneway", codec.Record{
-		"target": string(target),
-		"op":     op,
-		"args":   codec.Record(args),
-	})
-	return p.send(from, reg.node, msg)
+	buf := codec.GetBuffer()
+	e := schemaOneway.Encoder(buf.B[:0])
+	e.Value("args", args)
+	e.Str("op", op)
+	e.Str("target", string(target))
+	return p.finishSend(buf, &e, from, reg.node)
 }
 
 // QueueDeclare creates a named queue at the platform broker.
@@ -133,12 +163,12 @@ func (p *Platform) QueuePut(from Addr, queue string, m codec.Message) error {
 	}
 	p.stats.QueuePuts++
 	p.mu.Unlock()
-	wire := codec.NewMessage("mw.enqueue", codec.Record{
-		"queue":  queue,
-		"name":   m.Name,
-		"fields": codec.Record(m.Fields),
-	})
-	return p.send(from, p.broker, wire)
+	buf := codec.GetBuffer()
+	e := schemaEnqueue.Encoder(buf.B[:0])
+	e.Value("fields", m.Fields)
+	e.Str("name", m.Name)
+	e.Str("queue", queue)
+	return p.finishSend(buf, &e, from, p.broker)
 }
 
 // QueueSubscribe adds a consumer for a queue. Each message goes to exactly
@@ -192,12 +222,13 @@ func (p *Platform) deliverQueued(queue string, m codec.Message) {
 	q.nextRR++
 	p.stats.QueueDeliver++
 	p.mu.Unlock()
-	wire := codec.NewMessage("mw.deliver", codec.Record{
-		"queue":  queue,
-		"name":   m.Name,
-		"fields": codec.Record(m.Fields),
-	})
-	_ = p.send(p.broker, c.node, wire) //nolint:errcheck // broker delivery failure = message loss, acceptable for MOM sim
+	buf := codec.GetBuffer()
+	e := schemaDeliver.Encoder(buf.B[:0])
+	e.Value("fields", m.Fields)
+	e.Str("name", m.Name)
+	e.Str("queue", queue)
+	//nolint:errcheck // broker delivery failure = message loss, acceptable for MOM sim
+	_ = p.finishSend(buf, &e, p.broker, c.node)
 }
 
 // Publish sends a message to every subscriber of a topic (event
@@ -212,12 +243,12 @@ func (p *Platform) Publish(from Addr, topic string, m codec.Message) error {
 	p.mu.Lock()
 	p.stats.Publishes++
 	p.mu.Unlock()
-	wire := codec.NewMessage("mw.publish", codec.Record{
-		"topic":  topic,
-		"name":   m.Name,
-		"fields": codec.Record(m.Fields),
-	})
-	return p.send(from, p.broker, wire)
+	buf := codec.GetBuffer()
+	e := schemaPublish.Encoder(buf.B[:0])
+	e.Value("fields", m.Fields)
+	e.Str("name", m.Name)
+	e.Str("topic", topic)
+	return p.finishSend(buf, &e, from, p.broker)
 }
 
 // SubscribeTopic registers an event sink for a topic.
@@ -245,90 +276,102 @@ func (p *Platform) SubscribeTopic(topic string, node Addr, fn func(codec.Message
 	return nil
 }
 
-// onWire is the platform runtime's receive path at a node: it demarshals
-// the implicit protocol and dispatches per message type.
+// onWire is the platform runtime's receive path at a node. The wire
+// bytes alias the transport's pooled delivery buffer, so when dispatch
+// overhead defers the work, the bytes are copied into a pooled buffer
+// that lives exactly until the deferred handler finishes — one scratch
+// buffer per delivery, reused across the whole run.
 func (p *Platform) onWire(src, at Addr, data []byte) {
-	msg, err := codec.DecodeMessage(data)
+	overhead := p.profile.DispatchOverhead
+	if overhead > 0 {
+		buf := codec.GetBuffer()
+		buf.B = append(buf.B[:0], data...)
+		p.kernel.ScheduleFunc(overhead, func() {
+			p.handleWire(src, at, buf.B)
+			buf.Release()
+		})
+		return
+	}
+	p.handleWire(src, at, data)
+}
+
+// handleWire demarshals the implicit protocol through a zero-copy view
+// and dispatches per message type. Corrupt wire messages are dropped.
+func (p *Platform) handleWire(src, at Addr, data []byte) {
+	v, err := codec.ParseMessage(data)
 	if err != nil {
 		return // corrupt wire message: drop
 	}
-	overhead := p.profile.DispatchOverhead
-	handle := func() { p.handleWire(src, at, msg) }
-	if overhead > 0 {
-		p.kernel.ScheduleFunc(overhead, handle)
-	} else {
-		handle()
-	}
-}
-
-func (p *Platform) handleWire(src, at Addr, msg codec.Message) {
-	switch msg.Name {
+	switch string(v.Name()) {
 	case "mw.call":
-		p.handleCall(src, at, msg)
+		p.handleCall(src, at, &v)
 	case "mw.reply":
-		p.handleReply(msg)
+		p.handleReply(&v)
 	case "mw.oneway":
-		p.handleOneway(at, msg)
+		p.handleOneway(at, &v)
 	case "mw.enqueue":
-		p.handleEnqueue(msg)
+		p.handleEnqueue(&v)
 	case "mw.deliver":
-		p.handleDeliver(at, msg)
+		p.handleDeliver(at, &v)
 	case "mw.publish":
-		p.handlePublish(msg)
+		p.handlePublish(&v)
 	case "mw.event":
-		p.handleEvent(at, msg)
+		p.handleEvent(at, &v)
 	}
 }
 
 // lookupLocal finds the object registration for a wire message's target,
-// verifying it is hosted at the receiving node.
-func (p *Platform) lookupLocal(at Addr, msg codec.Message) (Object, string, codec.Record, bool) {
-	targetV, _ := msg.Get("target")
-	opV, _ := msg.Get("op")
-	argsV, _ := msg.Get("args")
-	target, _ := targetV.(string)
-	op, _ := opV.(string)
-	args, _ := argsV.(map[string]codec.Value)
+// verifying it is hosted at the receiving node. The args record is
+// materialized (copied) here: it crosses into application code via
+// Object.Dispatch and may be retained.
+func (p *Platform) lookupLocal(at Addr, v *codec.MsgView) (Object, string, codec.Record, bool) {
+	target, _ := v.Str("target")
+	op, _ := v.Str("op")
+	args, _ := v.Record("args")
 	p.mu.Lock()
 	reg, ok := p.objects[ObjRef(target)]
 	p.mu.Unlock()
 	if !ok || reg.node != at {
 		return nil, "", nil, false
 	}
-	return reg.obj, op, args, true
+	return reg.obj, string(op), args, true
 }
 
-func (p *Platform) handleCall(src, at Addr, msg codec.Message) {
-	idV, _ := msg.Get("id")
-	id, _ := idV.(uint64)
-	obj, op, args, ok := p.lookupLocal(at, msg)
+func (p *Platform) handleCall(src, at Addr, v *codec.MsgView) {
+	id, _ := v.Uint("id")
+	obj, op, args, ok := p.lookupLocal(at, v)
 	if !ok {
-		reply := codec.NewMessage("mw.reply", codec.Record{
-			"id": id, "error": "unknown object at node",
-		})
-		_ = p.send(at, src, reply) //nolint:errcheck
+		buf := codec.GetBuffer()
+		e := schemaReplyErr.Encoder(buf.B[:0])
+		e.Str("error", "unknown object at node")
+		e.Uint("id", id)
+		_ = p.finishSend(buf, &e, at, src) //nolint:errcheck
 		return
 	}
 	obj.Dispatch(op, args, func(result codec.Record, err error) {
-		fields := codec.Record{"id": id}
-		if err != nil {
-			fields["error"] = err.Error()
-		} else {
-			if result == nil {
-				result = codec.Record{}
-			}
-			fields["result"] = codec.Record(result)
-		}
 		p.mu.Lock()
 		p.stats.Replies++
 		p.mu.Unlock()
-		_ = p.send(at, src, codec.NewMessage("mw.reply", fields)) //nolint:errcheck
+		buf := codec.GetBuffer()
+		if err != nil {
+			e := schemaReplyErr.Encoder(buf.B[:0])
+			e.Str("error", err.Error())
+			e.Uint("id", id)
+			_ = p.finishSend(buf, &e, at, src) //nolint:errcheck
+			return
+		}
+		if result == nil {
+			result = codec.Record{}
+		}
+		e := schemaReplyOK.Encoder(buf.B[:0])
+		e.Uint("id", id)
+		e.Value("result", result)
+		_ = p.finishSend(buf, &e, at, src) //nolint:errcheck
 	})
 }
 
-func (p *Platform) handleReply(msg codec.Message) {
-	idV, _ := msg.Get("id")
-	id, _ := idV.(uint64)
+func (p *Platform) handleReply(v *codec.MsgView) {
+	id, _ := v.Uint("id")
 	p.mu.Lock()
 	pc, ok := p.pending[id]
 	if ok {
@@ -341,43 +384,34 @@ func (p *Platform) handleReply(msg codec.Message) {
 	if !ok {
 		return // late reply after timeout
 	}
-	if errV, hasErr := msg.Get("error"); hasErr {
-		s, _ := errV.(string)
+	if _, hasErr := v.Raw("error"); hasErr {
+		s, _ := v.Str("error")
 		pc.cont(nil, fmt.Errorf("%w: %s", ErrRemote, s))
 		return
 	}
-	resultV, _ := msg.Get("result")
-	result, _ := resultV.(map[string]codec.Value)
+	result, _ := v.Record("result")
 	pc.cont(result, nil)
 }
 
-func (p *Platform) handleOneway(at Addr, msg codec.Message) {
-	obj, op, args, ok := p.lookupLocal(at, msg)
+func (p *Platform) handleOneway(at Addr, v *codec.MsgView) {
+	obj, op, args, ok := p.lookupLocal(at, v)
 	if !ok {
 		return
 	}
 	obj.Dispatch(op, args, func(codec.Record, error) {}) // replies discarded
 }
 
-func (p *Platform) handleEnqueue(msg codec.Message) {
-	queueV, _ := msg.Get("queue")
-	queue, _ := queueV.(string)
-	nameV, _ := msg.Get("name")
-	name, _ := nameV.(string)
-	fieldsV, _ := msg.Get("fields")
-	fields, _ := fieldsV.(map[string]codec.Value)
-	p.deliverQueued(queue, codec.NewMessage(name, fields))
+func (p *Platform) handleEnqueue(v *codec.MsgView) {
+	queue, _ := v.Str("queue")
+	name, _ := v.Str("name")
+	fields, _ := v.Record("fields")
+	p.deliverQueued(string(queue), codec.NewMessage(string(name), fields))
 }
 
-func (p *Platform) handleDeliver(at Addr, msg codec.Message) {
-	queueV, _ := msg.Get("queue")
-	queue, _ := queueV.(string)
-	nameV, _ := msg.Get("name")
-	name, _ := nameV.(string)
-	fieldsV, _ := msg.Get("fields")
-	fields, _ := fieldsV.(map[string]codec.Value)
+func (p *Platform) handleDeliver(at Addr, v *codec.MsgView) {
+	queue, _ := v.Str("queue")
 	p.mu.Lock()
-	q := p.queues[queue]
+	q := p.queues[string(queue)]
 	var fn func(codec.Message)
 	if q != nil {
 		for _, c := range q.consumers {
@@ -389,15 +423,21 @@ func (p *Platform) handleDeliver(at Addr, msg codec.Message) {
 	}
 	p.mu.Unlock()
 	if fn != nil {
-		fn(codec.NewMessage(name, fields))
+		name, _ := v.Str("name")
+		fields, _ := v.Record("fields")
+		fn(codec.NewMessage(string(name), fields))
 	}
 }
 
-func (p *Platform) handlePublish(msg codec.Message) {
-	topicV, _ := msg.Get("topic")
-	topic, _ := topicV.(string)
+// handlePublish is the broker half of the pub/sub hot path: the event
+// envelope is re-framed as mw.event by splicing the raw name and fields
+// bytes out of the incoming view — the application payload is never
+// rematerialized at the broker — and the single encoded buffer fans out
+// to every subscriber node.
+func (p *Platform) handlePublish(v *codec.MsgView) {
+	topic, _ := v.Str("topic")
 	p.mu.Lock()
-	t := p.topics[topic]
+	t := p.topics[string(topic)]
 	var nodes []Addr
 	if t != nil {
 		nodes = make([]Addr, len(t.subs))
@@ -410,25 +450,38 @@ func (p *Platform) handlePublish(msg codec.Message) {
 	if len(nodes) == 0 {
 		return
 	}
-	nameV, _ := msg.Get("name")
-	fieldsV, _ := msg.Get("fields")
-	wire := codec.NewMessage("mw.event", codec.Record{
-		"topic":  topic,
-		"name":   nameV,
-		"fields": fieldsV,
-	})
-	_ = p.sendMulti(p.broker, nodes, wire) //nolint:errcheck // event delivery failure = event loss, acceptable for pub/sub sim
+	rawName, ok := v.Raw("name")
+	if !ok {
+		rawName = codec.RawNil
+	}
+	rawFields, ok := v.Raw("fields")
+	if !ok {
+		rawFields = codec.RawNil
+	}
+	rawTopic, ok := v.Raw("topic")
+	if !ok {
+		rawTopic = codec.RawNil
+	}
+	buf := codec.GetBuffer()
+	e := schemaEvent.Encoder(buf.B[:0])
+	e.Raw("fields", rawFields)
+	e.Raw("name", rawName)
+	e.Raw("topic", rawTopic)
+	data, err := e.Finish()
+	if err != nil {
+		buf.Release()
+		return
+	}
+	//nolint:errcheck // event delivery failure = event loss, acceptable for pub/sub sim
+	_ = p.sendMultiData(p.broker, nodes, data)
+	buf.B = data
+	buf.Release()
 }
 
-func (p *Platform) handleEvent(at Addr, msg codec.Message) {
-	topicV, _ := msg.Get("topic")
-	topic, _ := topicV.(string)
-	nameV, _ := msg.Get("name")
-	name, _ := nameV.(string)
-	fieldsV, _ := msg.Get("fields")
-	fields, _ := fieldsV.(map[string]codec.Value)
+func (p *Platform) handleEvent(at Addr, v *codec.MsgView) {
+	topic, _ := v.Str("topic")
 	p.mu.Lock()
-	t := p.topics[topic]
+	t := p.topics[string(topic)]
 	var fns []func(codec.Message)
 	if t != nil {
 		for _, s := range t.subs {
@@ -438,7 +491,12 @@ func (p *Platform) handleEvent(at Addr, msg codec.Message) {
 		}
 	}
 	p.mu.Unlock()
+	if len(fns) == 0 {
+		return
+	}
+	name, _ := v.Str("name")
+	fields, _ := v.Record("fields")
 	for _, fn := range fns {
-		fn(codec.NewMessage(name, fields))
+		fn(codec.NewMessage(string(name), fields))
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/sim"
 )
 
@@ -34,6 +35,13 @@ var (
 type NodeID string
 
 // Handler receives datagrams delivered to a node.
+//
+// The payload slice is a pooled delivery buffer owned by the network: it
+// is valid only until the handler returns, after which it is recycled
+// for an unrelated datagram. Handlers that keep payload bytes beyond the
+// call (buffering, reassembly) must copy them; decoding with
+// internal/codec's materializing APIs copies implicitly, while MsgView
+// accessors alias and must not outlive the call.
 type Handler func(src NodeID, payload []byte)
 
 // LinkConfig describes the behaviour of a directed link.
@@ -281,20 +289,22 @@ func (n *Network) transmitLocked(rng *rand.Rand, src, dst NodeID, payload []byte
 		n.stats.Dropped++
 		return entries, nil
 	}
-	buf := make([]byte, len(payload))
-	copy(buf, payload)
+	buf := codec.GetBuffer()
+	buf.B = append(buf.B[:0], payload...)
 	entries = append(entries, n.deliveryLocked(rng, src, dst, cfg, buf))
 	if cfg.DuplicateRate > 0 && rng.Float64() < cfg.DuplicateRate {
-		dup := make([]byte, len(buf))
-		copy(dup, buf)
+		dup := codec.GetBuffer()
+		dup.B = append(dup.B[:0], payload...)
 		entries = append(entries, n.deliveryLocked(rng, src, dst, cfg, dup))
 	}
 	return entries, nil
 }
 
 // deliveryLocked draws the link jitter and builds the delivery event for
-// one datagram copy. It must be called with n.mu held.
-func (n *Network) deliveryLocked(rng *rand.Rand, src, dst NodeID, cfg LinkConfig, buf []byte) sim.BatchEntry {
+// one datagram copy. It must be called with n.mu held. The pooled buffer
+// is recycled as soon as the handler returns (see Handler's aliasing
+// contract).
+func (n *Network) deliveryLocked(rng *rand.Rand, src, dst NodeID, cfg LinkConfig, buf *codec.Buffer) sim.BatchEntry {
 	delay := cfg.Latency
 	if cfg.Jitter > 0 {
 		delay += time.Duration(rng.Int63n(int64(cfg.Jitter)))
@@ -307,8 +317,9 @@ func (n *Network) deliveryLocked(rng *rand.Rand, src, dst NodeID, cfg LinkConfig
 		}
 		n.mu.Unlock()
 		if ok {
-			h(src, buf)
+			h(src, buf.B)
 		}
+		buf.Release()
 	}}
 }
 

@@ -18,7 +18,8 @@ type capture struct {
 func (c *capture) handler(k *sim.Kernel) Handler {
 	return func(src NodeID, payload []byte) {
 		c.sources = append(c.sources, src)
-		c.payloads = append(c.payloads, payload)
+		// The payload aliases a pooled delivery buffer: copy to retain.
+		c.payloads = append(c.payloads, append([]byte(nil), payload...))
 		c.times = append(c.times, k.Now())
 	}
 }

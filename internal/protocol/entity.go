@@ -52,17 +52,61 @@ func (c *Context) Schedule(delay time.Duration, fn func()) *sim.Timer {
 }
 
 // SendPDU encodes and transmits a PDU to the peer entity at dst through
-// the layer's lower service.
+// the layer's lower service. The encoding goes into a pooled scratch
+// buffer: lower services copy synchronously (see LowerService.Send), so
+// the buffer is recycled before SendPDU returns.
 func (c *Context) SendPDU(dst Addr, pdu codec.Message) error {
-	data, err := codec.EncodeMessage(pdu)
+	buf := codec.GetBuffer()
+	data, err := codec.AppendMessage(buf.B[:0], pdu)
 	if err != nil {
+		buf.Release()
 		return fmt.Errorf("protocol: encode PDU %q: %w", pdu.Name, err)
 	}
 	c.layer.countPDU(pdu.Name, len(data))
-	if err := c.layer.lower.Send(c.self, dst, data); err != nil {
+	err = c.layer.lower.Send(c.self, dst, data)
+	buf.B = data
+	buf.Release()
+	if err != nil {
 		return fmt.Errorf("protocol: send PDU %q %s→%s: %w", pdu.Name, c.self, dst, err)
 	}
 	return nil
+}
+
+// SendPDUMulti encodes pdu once and transmits it to every destination in
+// order — the fan-out path for broadcast-style protocol entities. When
+// the lower service supports batch fan-out (MultiSender) all deliveries
+// are scheduled in one call; otherwise it degrades to a Send loop with
+// identical semantics (including randomness consumption, so traces are
+// unchanged). Layer counters advance exactly as if SendPDU were called
+// once per destination.
+func (c *Context) SendPDUMulti(dsts []Addr, pdu codec.Message) error {
+	if len(dsts) == 0 {
+		return nil
+	}
+	buf := codec.GetBuffer()
+	data, err := codec.AppendMessage(buf.B[:0], pdu)
+	if err != nil {
+		buf.Release()
+		return fmt.Errorf("protocol: encode PDU %q: %w", pdu.Name, err)
+	}
+	defer func() {
+		buf.B = data
+		buf.Release()
+	}()
+	c.layer.countPDUs(pdu.Name, len(data), len(dsts))
+	if ms, ok := c.layer.lower.(MultiSender); ok {
+		if err := ms.SendMulti(c.self, dsts, data); err != nil {
+			return fmt.Errorf("protocol: send PDU %q fan-out from %s: %w", pdu.Name, c.self, err)
+		}
+		return nil
+	}
+	var firstErr error
+	for _, dst := range dsts {
+		if err := c.layer.lower.Send(c.self, dst, data); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("protocol: send PDU %q %s→%s: %w", pdu.Name, c.self, dst, err)
+		}
+	}
+	return firstErr
 }
 
 // DeliverToUser executes a to-user service primitive at this entity's SAP.
@@ -166,11 +210,17 @@ func (l *Layer) deliverUp(addr Addr, primitive string, params codec.Record) {
 }
 
 func (l *Layer) countPDU(name string, bytes int) {
+	l.countPDUs(name, bytes, 1)
+}
+
+// countPDUs counts n identical transmissions of one PDU under a single
+// lock acquisition (the fan-out path).
+func (l *Layer) countPDUs(name string, bytes, n int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.stats.PDUsSent++
-	l.stats.BytesSent += uint64(bytes)
-	l.stats.ByType[name]++
+	l.stats.PDUsSent += uint64(n)
+	l.stats.BytesSent += uint64(n) * uint64(bytes)
+	l.stats.ByType[name] += uint64(n)
 }
 
 // Stats returns a snapshot of the layer counters.

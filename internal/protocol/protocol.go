@@ -35,6 +35,11 @@ var (
 )
 
 // Receiver consumes PDUs delivered by a lower service.
+//
+// The pdu slice may alias a pooled delivery buffer owned by the service
+// below: it is valid only until the receiver returns. Receivers that
+// keep PDU bytes beyond the call must copy them (codec's materializing
+// decoders copy implicitly; codec.MsgView accessors alias).
 type Receiver func(src Addr, pdu []byte)
 
 // LowerService is the paper's "lower level service": it provides
@@ -45,7 +50,9 @@ type LowerService interface {
 	Name() string
 	// Attach registers the receiver for PDUs addressed to addr.
 	Attach(addr Addr, r Receiver) error
-	// Send transfers an encoded PDU from src to dst.
+	// Send transfers an encoded PDU from src to dst. Implementations must
+	// not retain pdu after returning (copy if queueing), so callers may
+	// encode into reusable scratch buffers.
 	Send(src, dst Addr, pdu []byte) error
 }
 

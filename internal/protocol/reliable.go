@@ -53,6 +53,10 @@ func (c *ReliableDatagramConfig) applyDefaults() {
 //
 //	rdp.data(seq uint64, payload bytes)
 //	rdp.ack(cum uint64)   — cumulative: all seq < cum received in order
+//
+// Both PDU shapes are schema-compiled and decoded through codec.MsgView,
+// so the per-datagram reliability overhead allocates nothing beyond the
+// retained in-flight copy.
 type ReliableDatagram struct {
 	kernel *sim.Kernel
 	lower  LowerService
@@ -67,6 +71,12 @@ type ReliableDatagram struct {
 }
 
 var _ LowerService = (*ReliableDatagram)(nil)
+
+// Compiled PDU schemas (field order is canonical/sorted).
+var (
+	schemaRdpData = codec.CompileSchema("rdp.data", "seq", "payload")
+	schemaRdpAck  = codec.CompileSchema("rdp.ack", "cum")
+)
 
 type flowKey struct{ src, dst Addr }
 
@@ -163,10 +173,15 @@ func (r *ReliableDatagram) Send(src, dst Addr, payload []byte) error {
 	return nil
 }
 
-// transmitLocked sends one data PDU. Caller holds r.mu.
+// transmitLocked sends one data PDU, encoded through the compiled schema
+// into a pooled buffer (the lower service copies synchronously, so the
+// buffer is recycled on return). Caller holds r.mu.
 func (r *ReliableDatagram) transmitLocked(key flowKey, seq uint64, payload []byte) {
-	msg := codec.NewMessage("rdp.data", codec.Record{"seq": seq, "payload": payload})
-	data, err := codec.EncodeMessage(msg)
+	buf := codec.GetBuffer()
+	e := schemaRdpData.Encoder(buf.B[:0])
+	e.Bytes("payload", payload)
+	e.Uint("seq", seq)
+	data, err := e.Finish()
 	if err != nil {
 		// Payload is opaque bytes; encoding cannot fail for valid inputs.
 		panic(fmt.Sprintf("protocol: encode data PDU: %v", err))
@@ -175,6 +190,8 @@ func (r *ReliableDatagram) transmitLocked(key flowKey, seq uint64, payload []byt
 	if err := r.lower.Send(key.src, key.dst, data); err != nil {
 		r.broken[key] = fmt.Errorf("protocol: flow %s→%s: %w", key.src, key.dst, err)
 	}
+	buf.B = data
+	buf.Release()
 }
 
 // armTimerLocked (re)arms the retransmission timer for a flow with unacked
@@ -219,31 +236,28 @@ func (r *ReliableDatagram) onTimeout(key flowKey) {
 	r.armTimerLocked(key, f)
 }
 
-// onLower handles a PDU arriving from the lower service at dst.
+// onLower handles a PDU arriving from the lower service at dst. The
+// view decode walks the PDU in place — pdu aliases the network's pooled
+// delivery buffer, so anything retained past this call must be copied.
 func (r *ReliableDatagram) onLower(src, dst Addr, pdu []byte) {
-	msg, err := codec.DecodeMessage(pdu)
+	v, err := codec.ParseMessage(pdu)
 	if err != nil {
 		return // corrupted frame: drop silently, retransmission recovers
 	}
-	switch msg.Name {
-	case "rdp.data":
-		r.onData(src, dst, msg)
-	case "rdp.ack":
-		r.onAck(src, dst, msg)
+	switch {
+	case v.NameIs("rdp.data"):
+		r.onData(src, dst, &v)
+	case v.NameIs("rdp.ack"):
+		r.onAck(src, dst, &v)
 	}
 }
 
-func (r *ReliableDatagram) onData(src, dst Addr, msg codec.Message) {
-	seqV, ok := msg.Get("seq")
+func (r *ReliableDatagram) onData(src, dst Addr, v *codec.MsgView) {
+	seq, ok := v.Uint("seq")
 	if !ok {
 		return
 	}
-	seq, ok := seqV.(uint64)
-	if !ok {
-		return
-	}
-	payloadV, _ := msg.Get("payload")
-	payload, _ := payloadV.([]byte)
+	payload, _ := v.Bytes("payload")
 
 	r.mu.Lock()
 	key := flowKey{src, dst} // direction of data flow
@@ -252,11 +266,16 @@ func (r *ReliableDatagram) onData(src, dst Addr, msg codec.Message) {
 		f = &recvFlow{held: make(map[uint64][]byte)}
 		r.recvFlows[key] = f
 	}
-	var ready [][]byte
+	// deliver marks the common case (in-order arrival): the aliased
+	// payload is handed to the receiver synchronously, with no copy and
+	// no ready-slice allocation. Out-of-order payloads are copied before
+	// being held — they outlive this call and the delivery buffer.
+	deliver := false
+	var drained [][]byte
 	switch {
 	case seq == f.expected:
 		f.expected++
-		ready = append(ready, payload)
+		deliver = true
 		// Drain any buffered successors the gap was hiding.
 		for {
 			next, ok := f.held[f.expected]
@@ -265,44 +284,49 @@ func (r *ReliableDatagram) onData(src, dst Addr, msg codec.Message) {
 			}
 			delete(f.held, f.expected)
 			f.expected++
-			ready = append(ready, next)
+			drained = append(drained, next)
 		}
 	case seq < f.expected:
 		r.stats.Duplicates++
 	default:
 		r.stats.OutOfOrder++
 		if _, dup := f.held[seq]; !dup && len(f.held) < r.cfg.ReorderBuffer {
-			f.held[seq] = payload
+			f.held[seq] = append([]byte(nil), payload...)
 		}
 	}
 	// Cumulative ack of everything in order so far (sent for every data
 	// PDU, so a lost ack is repaired by the next one or a retransmit).
-	ack := codec.NewMessage("rdp.ack", codec.Record{"cum": f.expected})
-	data, err := codec.EncodeMessage(ack)
+	ackBuf := codec.GetBuffer()
+	e := schemaRdpAck.Encoder(ackBuf.B[:0])
+	e.Uint("cum", f.expected)
+	data, err := e.Finish()
 	if err != nil {
 		panic(fmt.Sprintf("protocol: encode ack PDU: %v", err))
 	}
 	r.stats.AcksSent++
-	r.stats.DataDelivered += uint64(len(ready))
+	if deliver {
+		r.stats.DataDelivered += 1 + uint64(len(drained))
+	}
 	recv := r.receivers[dst]
 	r.mu.Unlock()
 
 	// Ack travels dst→src (reverse path). Errors indicate an unregistered
 	// peer, which retransmission cannot fix either; ignore.
 	_ = r.lower.Send(dst, src, data) //nolint:errcheck
+	ackBuf.B = data
+	ackBuf.Release()
 	if recv != nil {
-		for _, p := range ready {
+		if deliver {
+			recv(src, payload)
+		}
+		for _, p := range drained {
 			recv(src, p)
 		}
 	}
 }
 
-func (r *ReliableDatagram) onAck(src, dst Addr, msg codec.Message) {
-	cumV, ok := msg.Get("cum")
-	if !ok {
-		return
-	}
-	cum, ok := cumV.(uint64)
+func (r *ReliableDatagram) onAck(src, dst Addr, v *codec.MsgView) {
+	cum, ok := v.Uint("cum")
 	if !ok {
 		return
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/codec"
 	"repro/internal/sim"
 )
 
@@ -139,23 +140,29 @@ func (f *Framing) Attach(addr Addr, r Receiver) error {
 }
 
 // Send implements LowerService: the PDU travels as one length-prefixed
-// frame on the octet stream.
+// frame on the octet stream. The frame is assembled in a pooled scratch
+// buffer — Write hands chunks to a copying lower service synchronously.
 func (f *Framing) Send(src, dst Addr, pdu []byte) error {
 	if uint32(len(pdu)) > f.maxFrame {
 		return fmt.Errorf("protocol: frame of %d bytes exceeds limit %d", len(pdu), f.maxFrame)
 	}
-	buf := make([]byte, 4+len(pdu))
-	binary.BigEndian.PutUint32(buf, uint32(len(pdu)))
-	copy(buf[4:], pdu)
-	return f.stream.Write(src, dst, buf)
+	fb := codec.GetBuffer()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(pdu)))
+	fb.B = append(append(fb.B[:0], hdr[:]...), pdu...)
+	err := f.stream.Write(src, dst, fb.B)
+	fb.Release()
+	return err
 }
 
-// onSegment accumulates stream octets and emits completed frames.
+// onSegment accumulates stream octets and emits completed frames. Frames
+// are carved into pooled buffers that are recycled as soon as the
+// receiver returns (Receiver aliasing contract).
 func (f *Framing) onSegment(src, dst Addr, segment []byte) {
 	key := flowKey{src, dst}
 	f.mu.Lock()
 	buf := append(f.buffers[key], segment...)
-	var frames [][]byte
+	var frames []*codec.Buffer
 	for {
 		if len(buf) < 4 {
 			break
@@ -170,19 +177,19 @@ func (f *Framing) onSegment(src, dst Addr, segment []byte) {
 		if uint32(len(buf)-4) < size {
 			break
 		}
-		frame := make([]byte, size)
-		copy(frame, buf[4:4+size])
+		frame := codec.GetBuffer()
+		frame.B = append(frame.B[:0], buf[4:4+size]...)
 		frames = append(frames, frame)
 		buf = buf[4+size:]
 	}
 	f.buffers[key] = buf
 	recv := f.receivers[dst]
 	f.mu.Unlock()
-	if recv == nil {
-		return
-	}
 	for _, frame := range frames {
-		recv(src, frame)
+		if recv != nil {
+			recv(src, frame.B)
+		}
+		frame.Release()
 	}
 }
 

@@ -199,7 +199,10 @@ func TestPropertyFramedStackExactlyOnce(t *testing.T) {
 		loss := float64(lossTenths%6) / 10
 		k, f := quickFramingPair(seed, loss, int(chunk%32)+1)
 		var got [][]byte
-		if err := f.Attach("b", func(_ Addr, pdu []byte) { got = append(got, pdu) }); err != nil {
+		// pdu aliases a pooled frame buffer; copy to retain across calls.
+		if err := f.Attach("b", func(_ Addr, pdu []byte) {
+			got = append(got, append([]byte(nil), pdu...))
+		}); err != nil {
 			return false
 		}
 		if err := f.Attach("a", func(Addr, []byte) {}); err != nil {
