@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-smoke bench-kernel bench-codec bench-baseline bench-baseline-codec bench-regression sweep fig fuzz cover fmt vet check clean
+.PHONY: all build test bench bench-smoke bench-kernel bench-codec bench-path bench-baseline bench-baseline-codec bench-baseline-path bench-regression sweep sweep-large profile fig fuzz cover fmt vet check clean
 
 all: check
 
@@ -25,6 +25,11 @@ bench-kernel:
 bench-codec:
 	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/codec
 
+# The end-to-end delivery-path benchmark suite (routing/demux plane) at
+# the CI gate's repetition count.
+bench-path:
+	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/delivery
+
 # Refresh the committed kernel benchmark baseline (commit the result).
 bench-baseline:
 	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/sim | \
@@ -36,12 +41,20 @@ bench-baseline-codec:
 		$(GO) run ./cmd/benchcmp -record -out BENCH_codec.json \
 			-note "Refresh with: make bench-baseline-codec (see README, Performance & CI gates)."
 
+# Refresh the committed delivery-path benchmark baseline (commit the result).
+bench-baseline-path:
+	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/delivery | \
+		$(GO) run ./cmd/benchcmp -record -out BENCH_path.json \
+			-note "Refresh with: make bench-baseline-path (see README, Performance & CI gates)."
+
 # The CI bench-regression gates, locally.
 bench-regression:
 	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/sim | \
 		$(GO) run ./cmd/benchcmp -baseline BENCH_kernel.json -threshold 1.20 -normalize Calibrate
 	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/codec | \
 		$(GO) run ./cmd/benchcmp -baseline BENCH_codec.json -threshold 1.20 -normalize Calibrate
+	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/delivery | \
+		$(GO) run ./cmd/benchcmp -baseline BENCH_path.json -threshold 1.20 -normalize Calibrate
 
 # The CI fuzz job, locally (bounded).
 fuzz:
@@ -56,6 +69,18 @@ cover:
 # The default 120-scenario cross-product sweep (table to stdout).
 sweep:
 	$(GO) run ./cmd/sweep
+
+# The large-client band: every solution at clients {64,128,256},
+# loss {0,1}% — the fan-out regime the dense routing plane pays for.
+sweep-large:
+	$(GO) run ./cmd/sweep -clients 64,128,256 -loss 0,0.01 -cycles 4
+
+# CPU + allocation profiles of the full 120-scenario sweep (writes
+# cpu.pprof and mem.pprof; inspect with `go tool pprof cpu.pprof`).
+profile:
+	$(GO) run ./cmd/sweep -quiet -format csv -out /dev/null \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof and mem.pprof — inspect with: go tool pprof -top cpu.pprof"
 
 # Regenerate every paper figure.
 fig:

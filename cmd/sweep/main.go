@@ -8,11 +8,15 @@
 //	sweep -parallel 1                      # sequential; bit-identical output
 //	sweep -solutions mw-token,proto-token  # restrict the solution dimension
 //	sweep -loss 0,0.05 -subs 4,16          # restrict swept dimensions
+//	sweep -clients 64,128,256              # large-client band (overrides -subs)
 //	sweep -format csv -out sweep.csv       # machine-readable output
+//	sweep -cpuprofile cpu.pprof            # profile the sweep (see make profile)
 //
 // The default matrix is all 10 solutions × loss {0, 1, 5, 10}% × clients
 // {2, 8, 32}. Every scenario's seed is derived from the base seed and the
 // scenario ID, so the report is bit-identical for any -parallel value.
+// Table output additionally shows per-scenario wall time (never part of
+// the machine-readable renderings).
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -35,6 +40,7 @@ func main() {
 func run() int {
 	solutions := flag.String("solutions", "all", "comma-separated solution names, or 'all'")
 	subs := flag.String("subs", "2,8,32", "comma-separated subscriber (client) counts")
+	clients := flag.String("clients", "", "override -subs (alias emphasizing deployment size, e.g. the 64,128,256 large-client band)")
 	resources := flag.String("resources", "2", "comma-separated resource counts")
 	loss := flag.String("loss", "0,0.01,0.05,0.1", "comma-separated link loss rates (fractions)")
 	cycles := flag.Int("cycles", 6, "acquire/hold/release cycles per subscriber")
@@ -44,6 +50,8 @@ func run() int {
 	out := flag.String("out", "", "output file (default stdout)")
 	list := flag.Bool("list", false, "list solution names and exit")
 	quiet := flag.Bool("quiet", false, "suppress the run summary on stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the sweep to this file")
 	flag.Parse()
 
 	if *list {
@@ -71,8 +79,12 @@ func run() int {
 		}
 	}
 	var err error
-	if matrix.Subscribers, err = parseInts(*subs); err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: -subs: %v\n", err)
+	clientCSV, clientFlag := *subs, "-subs"
+	if strings.TrimSpace(*clients) != "" {
+		clientCSV, clientFlag = *clients, "-clients"
+	}
+	if matrix.Subscribers, err = parseInts(clientCSV); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", clientFlag, err)
 		return 2
 	}
 	if matrix.Resources, err = parseInts(*resources); err != nil {
@@ -85,6 +97,19 @@ func run() int {
 	}
 
 	scenarios := matrix.Scenarios()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 	start := time.Now()
 	report, err := runner.Sweep(scenarios, runner.Options{Workers: *parallel, BaseSeed: *seed})
 	if err != nil {
@@ -92,11 +117,29 @@ func run() int {
 		return 1
 	}
 	elapsed := time.Since(start)
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: -memprofile: %v\n", err)
+			return 1
+		}
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: -memprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		f.Close()
+	}
 
 	var rendered []byte
 	switch *format {
 	case "table":
-		rendered = []byte(report.String())
+		// The interactive table includes per-scenario wall time so the
+		// cost of heavy bands (e.g. -clients 64,128,256) is visible; the
+		// machine-readable renderings stay wall-clock-free and therefore
+		// byte-identical across worker counts.
+		rendered = []byte(report.TableString(true))
 	case "json":
 		rendered, err = report.JSON()
 	case "csv":

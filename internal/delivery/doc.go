@@ -1,0 +1,12 @@
+// Package delivery holds the end-to-end delivery-path benchmark suite:
+// the per-message cost of the routing/demux plane between the sim kernel
+// (internal/sim) and the application — network slot routing, protocol
+// demultiplexing and the middleware broker fan-out — measured over full
+// stacks assembled exactly as the floor-control workloads assemble them.
+//
+// The benchmarks are a permanent performance surface: cmd/benchcmp
+// compares them against the committed BENCH_path.json baseline in the CI
+// bench-regression job (±20% geomean, allocation regressions fail).
+// Names are load-bearing — renaming one silently drops it from the gate
+// until the baseline is refreshed with `make bench-baseline-path`.
+package delivery

@@ -12,6 +12,13 @@
 // the paper's observation that "the middleware-centred paradigm is somehow
 // dependent on the protocol-centred paradigm: ... the middleware
 // 'transforms' the interactions into (implicit) protocols."
+//
+// Every platform node gets a dense small-int id when its runtime
+// attaches; subscriber and consumer tables are compact index sets
+// resolved once at subscribe time, and when the transport supports the
+// dense plane (protocol.IndexedLower) the whole steady-state wire path —
+// receive demux, broker fan-out, reply routing — runs on slot-indexed
+// tables with no map lookups and no allocations.
 package middleware
 
 import (
@@ -173,16 +180,23 @@ type Stats struct {
 	WireBytes    uint64
 }
 
-// registration is a hosted object.
+// registration is a hosted object; the hosting node is held by dense id.
 type registration struct {
-	node Addr
-	obj  Object
+	nodeID int32
+	obj    Object
 }
 
 // pendingCall tracks an outstanding RPC at the caller side.
 type pendingCall struct {
 	cont  func(codec.Record, error)
 	timer *sim.Timer
+}
+
+// queueConsumer is one queue subscription, resolved to a dense node id
+// for the broker's round-robin pick; the consumer callback itself lives
+// in the node's queueSinks demux table.
+type queueConsumer struct {
+	nodeID int32
 }
 
 type queueState struct {
@@ -193,47 +207,101 @@ type queueState struct {
 	backlog []codec.Message
 }
 
-type queueConsumer struct {
-	node Addr
-	fn   func(codec.Message)
+// topicState holds one topic's subscriber table: the per-subscription
+// fan-out targets are resolved to node addresses and transport ids once
+// at subscribe time, so Publish fans the encoded event out over dense
+// slices with no per-message table walks.
+type topicState struct {
+	nodes  []Addr  // one entry per subscription, in subscription order
+	lows   []int32 // transport endpoint ids parallel to nodes
+	allLow bool    // every entry of lows is resolved (dense fan-out usable)
 }
 
-type topicState struct {
-	subs []queueConsumer
+// eventSink is one node-local topic subscription (the demux side of the
+// pub/sub pattern). Exactly one of fn/viewFn is set.
+type eventSink struct {
+	topic  string
+	fn     func(codec.Message)
+	viewFn func(codec.MsgView)
+}
+
+// queueSink is one node-local queue consumption endpoint.
+type queueSink struct {
+	queue string
+	fn    func(codec.Message)
+}
+
+// deferredWire is a pooled deferred-dispatch record: when the profile
+// models dispatch overhead, the wire bytes are copied into a pooled
+// buffer and handled after the virtual delay. The closure is built once
+// per pooled object, so deferral allocates nothing in steady state.
+type deferredWire struct {
+	p       *Platform
+	srcAddr Addr
+	srcLow  int32
+	atID    int32
+	buf     *codec.Buffer
+	fn      func()
+	next    *deferredWire
+}
+
+func (d *deferredWire) run() {
+	d.p.handleWire(d.srcAddr, d.srcLow, d.atID, d.buf.B)
+	buf := d.buf
+	d.buf = nil
+	d.srcAddr = ""
+	buf.Release()
+	d.p.mu.Lock()
+	d.next = d.p.freeDeferred
+	d.p.freeDeferred = d
+	d.p.mu.Unlock()
 }
 
 // Platform is a simulated middleware platform instance spanning the
 // network. Create one with New, register component objects with Register,
 // and interact through the pattern methods.
 type Platform struct {
-	kernel    *sim.Kernel
-	transport protocol.LowerService
-	profile   Profile
-	broker    Addr
+	kernel     *sim.Kernel
+	transport  protocol.LowerService
+	itransport protocol.IndexedLower // non-nil when transport has the dense plane
+	profile    Profile
+	broker     Addr
 
-	mu       sync.Mutex
-	objects  map[ObjRef]registration
-	runtimes map[Addr]struct{}
+	mu        sync.Mutex
+	objects   map[ObjRef]registration
+	nodes     map[Addr]int32 // runtime intern: addr → platform node id
+	nodeAddrs []Addr         // node id → addr
+	nodeLows  []int32        // node id → transport endpoint id (-1 unresolved)
+	brokerID  int32          // platform node id of the broker (-1 until attached)
+
+	eventSinks [][]eventSink // node id → topic subscriptions at that node
+	queueSinks [][]queueSink // node id → queue consumers at that node
+
 	pending  map[uint64]pendingCall
 	nextCall uint64
 	queues   map[string]*queueState
 	topics   map[string]*topicState
-	stats    Stats
+
+	freeDeferred *deferredWire
+	stats        Stats
 }
 
 // New creates a platform over transport. The broker address hosts the
 // platform's queue/topic broker; it is attached lazily on first use.
 func New(kernel *sim.Kernel, transport protocol.LowerService, profile Profile, broker Addr) *Platform {
+	it, _ := transport.(protocol.IndexedLower)
 	return &Platform{
-		kernel:    kernel,
-		transport: transport,
-		profile:   profile,
-		broker:    broker,
-		objects:   make(map[ObjRef]registration),
-		runtimes:  make(map[Addr]struct{}),
-		pending:   make(map[uint64]pendingCall),
-		queues:    make(map[string]*queueState),
-		topics:    make(map[string]*topicState),
+		kernel:     kernel,
+		transport:  transport,
+		itransport: it,
+		profile:    profile,
+		broker:     broker,
+		brokerID:   -1,
+		objects:    make(map[ObjRef]registration),
+		nodes:      make(map[Addr]int32),
+		pending:    make(map[uint64]pendingCall),
+		queues:     make(map[string]*queueState),
+		topics:     make(map[string]*topicState),
 	}
 }
 
@@ -250,20 +318,42 @@ func (p *Platform) Stats() Stats {
 	return p.stats
 }
 
-// ensureRuntime attaches the platform's wire-protocol receiver on a node.
-// Caller must NOT hold p.mu.
-func (p *Platform) ensureRuntime(node Addr) error {
+// ensureRuntime attaches the platform's wire-protocol receiver on a node
+// and returns the node's dense platform id. Caller must NOT hold p.mu.
+func (p *Platform) ensureRuntime(node Addr) (int32, error) {
 	p.mu.Lock()
-	if _, ok := p.runtimes[node]; ok {
+	if id, ok := p.nodes[node]; ok {
 		p.mu.Unlock()
-		return nil
+		return id, nil
 	}
-	p.runtimes[node] = struct{}{}
+	id := int32(len(p.nodeAddrs))
+	p.nodes[node] = id
+	p.nodeAddrs = append(p.nodeAddrs, node)
+	p.nodeLows = append(p.nodeLows, -1)
+	p.eventSinks = append(p.eventSinks, nil)
+	p.queueSinks = append(p.queueSinks, nil)
+	if node == p.broker {
+		p.brokerID = id
+	}
 	p.mu.Unlock()
-	if err := p.transport.Attach(node, func(src Addr, data []byte) { p.onWire(src, node, data) }); err != nil {
-		return fmt.Errorf("middleware: attach runtime at %q: %w", node, err)
+	if p.itransport != nil {
+		low, err := p.itransport.AttachIndexed(node, func(srcLow int32, data []byte) {
+			p.onWire("", srcLow, id, data)
+		})
+		if err != nil {
+			return id, fmt.Errorf("middleware: attach runtime at %q: %w", node, err)
+		}
+		p.mu.Lock()
+		p.nodeLows[id] = low
+		p.mu.Unlock()
+		return id, nil
 	}
-	return nil
+	if err := p.transport.Attach(node, func(src Addr, data []byte) {
+		p.onWire(src, -1, id, data)
+	}); err != nil {
+		return id, fmt.Errorf("middleware: attach runtime at %q: %w", node, err)
+	}
+	return id, nil
 }
 
 // Register hosts obj at node under ref.
@@ -271,7 +361,8 @@ func (p *Platform) Register(ref ObjRef, node Addr, obj Object) error {
 	if obj == nil {
 		return fmt.Errorf("middleware: nil object for %q", ref)
 	}
-	if err := p.ensureRuntime(node); err != nil {
+	nodeID, err := p.ensureRuntime(node)
+	if err != nil {
 		return err
 	}
 	p.mu.Lock()
@@ -279,7 +370,7 @@ func (p *Platform) Register(ref ObjRef, node Addr, obj Object) error {
 	if _, dup := p.objects[ref]; dup {
 		return fmt.Errorf("%w: %q", ErrDuplicateObject, ref)
 	}
-	p.objects[ref] = registration{node: node, obj: obj}
+	p.objects[ref] = registration{nodeID: nodeID, obj: obj}
 	return nil
 }
 
@@ -289,18 +380,29 @@ func (p *Platform) Resolve(ref ObjRef) (Addr, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	reg, ok := p.objects[ref]
-	return reg.node, ok
+	if !ok {
+		return "", false
+	}
+	return p.nodeAddrs[reg.nodeID], true
 }
 
 // sendData transmits one already-encoded wire message, counting it. The
 // transport copies synchronously (LowerService.Send contract), so data
 // may live in a pooled scratch buffer the caller recycles on return.
-func (p *Platform) sendData(from, to Addr, data []byte) error {
+// When both endpoint ids are resolved and the transport is indexed, the
+// send rides the dense plane.
+func (p *Platform) sendData(from Addr, fromLow int32, to Addr, toLow int32, data []byte) error {
 	p.mu.Lock()
 	p.stats.WireMessages++
 	p.stats.WireBytes += uint64(len(data))
 	p.mu.Unlock()
-	if err := p.transport.Send(from, to, data); err != nil {
+	var err error
+	if p.itransport != nil && fromLow >= 0 && toLow >= 0 {
+		err = p.itransport.SendIndexed(fromLow, toLow, data)
+	} else {
+		err = p.transport.Send(from, to, data)
+	}
+	if err != nil {
 		return fmt.Errorf("middleware: wire send %s→%s: %w", from, to, err)
 	}
 	return nil
@@ -309,12 +411,12 @@ func (p *Platform) sendData(from, to Addr, data []byte) error {
 // sendMultiData transmits one encoded message to every destination in
 // order — the fan-out path behind pub/sub event delivery: the message is
 // marshalled once by the caller and the single buffer serves every
-// subscriber. When the transport supports batch fan-out
-// (protocol.MultiSender), all deliveries are scheduled under a single
-// kernel lock; otherwise it degrades to a Send loop with identical
-// semantics. Wire counters advance exactly as if sendData were called
-// once per destination.
-func (p *Platform) sendMultiData(from Addr, tos []Addr, data []byte) error {
+// subscriber. On an indexed transport with every destination resolved,
+// the fan-out rides the dense batch path (all deliveries scheduled under
+// a single kernel lock); otherwise it degrades to the name-addressed
+// MultiSender or a Send loop with identical semantics. Wire counters
+// advance exactly as if sendData were called once per destination.
+func (p *Platform) sendMultiData(from Addr, fromLow int32, tos []Addr, toLows []int32, allLow bool, data []byte) error {
 	if len(tos) == 0 {
 		return nil
 	}
@@ -322,6 +424,12 @@ func (p *Platform) sendMultiData(from Addr, tos []Addr, data []byte) error {
 	p.stats.WireMessages += uint64(len(tos))
 	p.stats.WireBytes += uint64(len(tos)) * uint64(len(data))
 	p.mu.Unlock()
+	if p.itransport != nil && fromLow >= 0 && allLow {
+		if err := p.itransport.SendMultiIndexed(fromLow, toLows, data); err != nil {
+			return fmt.Errorf("middleware: wire fan-out from %s: %w", from, err)
+		}
+		return nil
+	}
 	if ms, ok := p.transport.(protocol.MultiSender); ok {
 		if err := ms.SendMulti(from, tos, data); err != nil {
 			return fmt.Errorf("middleware: wire fan-out from %s: %w", from, err)
@@ -335,4 +443,22 @@ func (p *Platform) sendMultiData(from Addr, tos []Addr, data []byte) error {
 		}
 	}
 	return firstErr
+}
+
+// nodeRefLocked returns the address and transport id of a platform node.
+// Caller holds p.mu.
+func (p *Platform) nodeRefLocked(id int32) (Addr, int32) {
+	return p.nodeAddrs[id], p.nodeLows[id]
+}
+
+// brokerRef returns the broker's address and transport id (-1 when the
+// broker runtime is not attached yet — the name-addressed fallback then
+// reports the same unknown-node error the legacy path did).
+func (p *Platform) brokerRef() (Addr, int32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.brokerID < 0 {
+		return p.broker, -1
+	}
+	return p.broker, p.nodeLows[p.brokerID]
 }

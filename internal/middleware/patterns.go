@@ -24,13 +24,13 @@ var (
 
 // finishSend completes an encode into buf and transmits it from→to,
 // recycling the buffer either way.
-func (p *Platform) finishSend(buf *codec.Buffer, e *codec.Encoder, from, to Addr) error {
+func (p *Platform) finishSend(buf *codec.Buffer, e *codec.Encoder, from Addr, fromLow int32, to Addr, toLow int32) error {
 	data, err := e.Finish()
 	if err != nil {
 		buf.Release()
 		return fmt.Errorf("middleware: marshal: %w", err)
 	}
-	sendErr := p.sendData(from, to, data)
+	sendErr := p.sendData(from, fromLow, to, toLow, data)
 	buf.B = data
 	buf.Release()
 	return sendErr
@@ -52,7 +52,8 @@ func (p *Platform) Invoke(from Addr, target ObjRef, op string, args codec.Record
 	if cont == nil {
 		cont = func(codec.Record, error) {}
 	}
-	if err := p.ensureRuntime(from); err != nil {
+	fromID, err := p.ensureRuntime(from)
+	if err != nil {
 		return err
 	}
 	p.mu.Lock()
@@ -69,6 +70,8 @@ func (p *Platform) Invoke(from Addr, target ObjRef, op string, args codec.Record
 	}
 	p.pending[id] = pc
 	p.stats.Calls++
+	fromLow := p.nodeLows[fromID]
+	to, toLow := p.nodeRefLocked(reg.nodeID)
 	p.mu.Unlock()
 
 	buf := codec.GetBuffer()
@@ -77,7 +80,7 @@ func (p *Platform) Invoke(from Addr, target ObjRef, op string, args codec.Record
 	e.Uint("id", id)
 	e.Str("op", op)
 	e.Str("target", string(target))
-	if err := p.finishSend(buf, &e, from, reg.node); err != nil {
+	if err := p.finishSend(buf, &e, from, fromLow, to, toLow); err != nil {
 		p.mu.Lock()
 		if pc, ok := p.pending[id]; ok {
 			if pc.timer != nil {
@@ -110,7 +113,8 @@ func (p *Platform) InvokeOneway(from Addr, target ObjRef, op string, args codec.
 	if !p.profile.Supports(PatternOneway) {
 		return fmt.Errorf("%w: %s on %q", ErrPatternUnsupported, PatternOneway, p.profile.Name)
 	}
-	if err := p.ensureRuntime(from); err != nil {
+	fromID, err := p.ensureRuntime(from)
+	if err != nil {
 		return err
 	}
 	p.mu.Lock()
@@ -120,13 +124,15 @@ func (p *Platform) InvokeOneway(from Addr, target ObjRef, op string, args codec.
 		return fmt.Errorf("%w: %q", ErrUnknownObject, target)
 	}
 	p.stats.Oneways++
+	fromLow := p.nodeLows[fromID]
+	to, toLow := p.nodeRefLocked(reg.nodeID)
 	p.mu.Unlock()
 	buf := codec.GetBuffer()
 	e := schemaOneway.Encoder(buf.B[:0])
 	e.Value("args", args)
 	e.Str("op", op)
 	e.Str("target", string(target))
-	return p.finishSend(buf, &e, from, reg.node)
+	return p.finishSend(buf, &e, from, fromLow, to, toLow)
 }
 
 // QueueDeclare creates a named queue at the platform broker.
@@ -134,7 +140,7 @@ func (p *Platform) QueueDeclare(name string) error {
 	if !p.profile.Supports(PatternQueue) {
 		return fmt.Errorf("%w: %s on %q", ErrPatternUnsupported, PatternQueue, p.profile.Name)
 	}
-	if err := p.ensureRuntime(p.broker); err != nil {
+	if _, err := p.ensureRuntime(p.broker); err != nil {
 		return err
 	}
 	p.mu.Lock()
@@ -153,7 +159,8 @@ func (p *Platform) QueuePut(from Addr, queue string, m codec.Message) error {
 	if !p.profile.Supports(PatternQueue) {
 		return fmt.Errorf("%w: %s on %q", ErrPatternUnsupported, PatternQueue, p.profile.Name)
 	}
-	if err := p.ensureRuntime(from); err != nil {
+	fromID, err := p.ensureRuntime(from)
+	if err != nil {
 		return err
 	}
 	p.mu.Lock()
@@ -162,19 +169,22 @@ func (p *Platform) QueuePut(from Addr, queue string, m codec.Message) error {
 		return fmt.Errorf("%w: %q", ErrUnknownQueue, queue)
 	}
 	p.stats.QueuePuts++
+	fromLow := p.nodeLows[fromID]
 	p.mu.Unlock()
+	to, toLow := p.brokerRef()
 	buf := codec.GetBuffer()
 	e := schemaEnqueue.Encoder(buf.B[:0])
 	e.Value("fields", m.Fields)
 	e.Str("name", m.Name)
 	e.Str("queue", queue)
-	return p.finishSend(buf, &e, from, p.broker)
+	return p.finishSend(buf, &e, from, fromLow, to, toLow)
 }
 
 // QueueSubscribe adds a consumer for a queue. Each message goes to exactly
 // one consumer; multiple consumers share the queue round-robin. Messages
 // put before any subscription are retained and delivered on first
-// subscribe.
+// subscribe. The consumer's node is resolved to dense ids here, once, so
+// deliveries walk no tables.
 func (p *Platform) QueueSubscribe(queue string, node Addr, fn func(codec.Message)) error {
 	if !p.profile.Supports(PatternQueue) {
 		return fmt.Errorf("%w: %s on %q", ErrPatternUnsupported, PatternQueue, p.profile.Name)
@@ -182,10 +192,11 @@ func (p *Platform) QueueSubscribe(queue string, node Addr, fn func(codec.Message
 	if fn == nil {
 		return fmt.Errorf("middleware: nil consumer for queue %q", queue)
 	}
-	if err := p.ensureRuntime(node); err != nil {
+	nodeID, err := p.ensureRuntime(node)
+	if err != nil {
 		return err
 	}
-	if err := p.ensureRuntime(p.broker); err != nil {
+	if _, err := p.ensureRuntime(p.broker); err != nil {
 		return err
 	}
 	p.mu.Lock()
@@ -194,7 +205,8 @@ func (p *Platform) QueueSubscribe(queue string, node Addr, fn func(codec.Message
 		p.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownQueue, queue)
 	}
-	q.consumers = append(q.consumers, queueConsumer{node: node, fn: fn})
+	q.consumers = append(q.consumers, queueConsumer{nodeID: nodeID})
+	p.queueSinks[nodeID] = append(p.queueSinks[nodeID], queueSink{queue: queue, fn: fn})
 	backlog := q.backlog
 	q.backlog = nil
 	p.mu.Unlock()
@@ -221,6 +233,11 @@ func (p *Platform) deliverQueued(queue string, m codec.Message) {
 	c := q.consumers[q.nextRR%len(q.consumers)]
 	q.nextRR++
 	p.stats.QueueDeliver++
+	to, toLow := p.nodeRefLocked(c.nodeID)
+	var fromLow int32 = -1
+	if p.brokerID >= 0 {
+		fromLow = p.nodeLows[p.brokerID]
+	}
 	p.mu.Unlock()
 	buf := codec.GetBuffer()
 	e := schemaDeliver.Encoder(buf.B[:0])
@@ -228,7 +245,7 @@ func (p *Platform) deliverQueued(queue string, m codec.Message) {
 	e.Str("name", m.Name)
 	e.Str("queue", queue)
 	//nolint:errcheck // broker delivery failure = message loss, acceptable for MOM sim
-	_ = p.finishSend(buf, &e, p.broker, c.node)
+	_ = p.finishSend(buf, &e, p.broker, fromLow, to, toLow)
 }
 
 // Publish sends a message to every subscriber of a topic (event
@@ -237,127 +254,180 @@ func (p *Platform) Publish(from Addr, topic string, m codec.Message) error {
 	if !p.profile.Supports(PatternPubSub) {
 		return fmt.Errorf("%w: %s on %q", ErrPatternUnsupported, PatternPubSub, p.profile.Name)
 	}
-	if err := p.ensureRuntime(from); err != nil {
+	fromID, err := p.ensureRuntime(from)
+	if err != nil {
 		return err
 	}
 	p.mu.Lock()
 	p.stats.Publishes++
+	fromLow := p.nodeLows[fromID]
 	p.mu.Unlock()
+	to, toLow := p.brokerRef()
 	buf := codec.GetBuffer()
 	e := schemaPublish.Encoder(buf.B[:0])
 	e.Value("fields", m.Fields)
 	e.Str("name", m.Name)
 	e.Str("topic", topic)
-	return p.finishSend(buf, &e, from, p.broker)
+	return p.finishSend(buf, &e, from, fromLow, to, toLow)
 }
 
-// SubscribeTopic registers an event sink for a topic.
+// SubscribeTopic registers an event sink for a topic. Events arrive
+// materialized as codec.Message values the sink may retain.
 func (p *Platform) SubscribeTopic(topic string, node Addr, fn func(codec.Message)) error {
-	if !p.profile.Supports(PatternPubSub) {
-		return fmt.Errorf("%w: %s on %q", ErrPatternUnsupported, PatternPubSub, p.profile.Name)
-	}
 	if fn == nil {
 		return fmt.Errorf("middleware: nil sink for topic %q", topic)
 	}
-	if err := p.ensureRuntime(node); err != nil {
+	return p.subscribeTopic(topic, node, eventSink{topic: topic, fn: fn})
+}
+
+// SubscribeTopicView registers a zero-copy event sink: the sink receives
+// a codec.MsgView over the mw.event envelope (fields "topic", "name",
+// "fields") aliasing the transport's pooled delivery buffer. The view
+// and every byte slice read through it are valid only until the sink
+// returns; retain with an explicit copy (or use SubscribeTopic, whose
+// materialized messages are safe to keep). This is the demux path with
+// zero per-event allocations.
+func (p *Platform) SubscribeTopicView(topic string, node Addr, fn func(v codec.MsgView)) error {
+	if fn == nil {
+		return fmt.Errorf("middleware: nil sink for topic %q", topic)
+	}
+	return p.subscribeTopic(topic, node, eventSink{topic: topic, viewFn: fn})
+}
+
+// subscribeTopic resolves the subscriber node to dense ids and appends it
+// to the topic's fan-out table and the node's demux table — the
+// "resolved once at subscribe time" half of the pub/sub fast path.
+func (p *Platform) subscribeTopic(topic string, node Addr, sink eventSink) error {
+	if !p.profile.Supports(PatternPubSub) {
+		return fmt.Errorf("%w: %s on %q", ErrPatternUnsupported, PatternPubSub, p.profile.Name)
+	}
+	nodeID, err := p.ensureRuntime(node)
+	if err != nil {
 		return err
 	}
-	if err := p.ensureRuntime(p.broker); err != nil {
+	if _, err := p.ensureRuntime(p.broker); err != nil {
 		return err
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	t := p.topics[topic]
 	if t == nil {
-		t = &topicState{}
+		t = &topicState{allLow: true}
 		p.topics[topic] = t
 	}
-	t.subs = append(t.subs, queueConsumer{node: node, fn: fn})
+	low := p.nodeLows[nodeID]
+	t.nodes = append(t.nodes, node)
+	t.lows = append(t.lows, low)
+	if low < 0 {
+		t.allLow = false
+	}
+	p.eventSinks[nodeID] = append(p.eventSinks[nodeID], sink)
 	return nil
 }
 
-// onWire is the platform runtime's receive path at a node. The wire
-// bytes alias the transport's pooled delivery buffer, so when dispatch
-// overhead defers the work, the bytes are copied into a pooled buffer
-// that lives exactly until the deferred handler finishes — one scratch
-// buffer per delivery, reused across the whole run.
-func (p *Platform) onWire(src, at Addr, data []byte) {
+// onWire is the platform runtime's receive path at a node, keyed by the
+// node's dense id (srcLow is the transport id of the sender on indexed
+// transports, -1 otherwise — exactly one of srcAddr/srcLow is valid).
+// The wire bytes alias the transport's pooled delivery buffer, so when
+// dispatch overhead defers the work, the bytes are copied into a pooled
+// buffer carried by a pooled deferred-dispatch record that lives exactly
+// until the deferred handler finishes.
+func (p *Platform) onWire(srcAddr Addr, srcLow, atID int32, data []byte) {
 	overhead := p.profile.DispatchOverhead
 	if overhead > 0 {
+		p.mu.Lock()
+		d := p.freeDeferred
+		if d != nil {
+			p.freeDeferred = d.next
+			d.next = nil
+		} else {
+			d = &deferredWire{p: p}
+			d.fn = d.run
+		}
+		p.mu.Unlock()
+		d.srcAddr, d.srcLow, d.atID = srcAddr, srcLow, atID
 		buf := codec.GetBuffer()
 		buf.B = append(buf.B[:0], data...)
-		p.kernel.ScheduleFunc(overhead, func() {
-			p.handleWire(src, at, buf.B)
-			buf.Release()
-		})
+		d.buf = buf
+		p.kernel.ScheduleFunc(overhead, d.fn)
 		return
 	}
-	p.handleWire(src, at, data)
+	p.handleWire(srcAddr, srcLow, atID, data)
 }
 
 // handleWire demarshals the implicit protocol through a zero-copy view
 // and dispatches per message type. Corrupt wire messages are dropped.
-func (p *Platform) handleWire(src, at Addr, data []byte) {
+func (p *Platform) handleWire(srcAddr Addr, srcLow, atID int32, data []byte) {
 	v, err := codec.ParseMessage(data)
 	if err != nil {
 		return // corrupt wire message: drop
 	}
 	switch string(v.Name()) {
 	case "mw.call":
-		p.handleCall(src, at, &v)
+		p.handleCall(srcAddr, srcLow, atID, &v)
 	case "mw.reply":
 		p.handleReply(&v)
 	case "mw.oneway":
-		p.handleOneway(at, &v)
+		p.handleOneway(atID, &v)
 	case "mw.enqueue":
 		p.handleEnqueue(&v)
 	case "mw.deliver":
-		p.handleDeliver(at, &v)
+		p.handleDeliver(atID, &v)
 	case "mw.publish":
 		p.handlePublish(&v)
 	case "mw.event":
-		p.handleEvent(at, &v)
+		p.handleEvent(atID, &v)
 	}
 }
 
 // lookupLocal finds the object registration for a wire message's target,
-// verifying it is hosted at the receiving node. The args record is
-// materialized (copied) here: it crosses into application code via
-// Object.Dispatch and may be retained.
-func (p *Platform) lookupLocal(at Addr, v *codec.MsgView) (Object, string, codec.Record, bool) {
+// verifying it is hosted at the receiving node (a dense-id compare). The
+// args record is materialized (copied) here: it crosses into application
+// code via Object.Dispatch and may be retained.
+func (p *Platform) lookupLocal(atID int32, v *codec.MsgView) (Object, string, codec.Record, bool) {
 	target, _ := v.Str("target")
 	op, _ := v.Str("op")
 	args, _ := v.Record("args")
 	p.mu.Lock()
 	reg, ok := p.objects[ObjRef(target)]
 	p.mu.Unlock()
-	if !ok || reg.node != at {
+	if !ok || reg.nodeID != atID {
 		return nil, "", nil, false
 	}
 	return reg.obj, string(op), args, true
 }
 
-func (p *Platform) handleCall(src, at Addr, v *codec.MsgView) {
+// replyRef resolves where a reply from node atID back to the caller
+// should travel: the receiving node's address/low id plus the caller's.
+func (p *Platform) replyRef(atID int32) (Addr, int32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.nodeAddrs[atID], p.nodeLows[atID]
+}
+
+func (p *Platform) handleCall(srcAddr Addr, srcLow, atID int32, v *codec.MsgView) {
 	id, _ := v.Uint("id")
-	obj, op, args, ok := p.lookupLocal(at, v)
+	obj, op, args, ok := p.lookupLocal(atID, v)
 	if !ok {
+		at, atLow := p.replyRef(atID)
 		buf := codec.GetBuffer()
 		e := schemaReplyErr.Encoder(buf.B[:0])
 		e.Str("error", "unknown object at node")
 		e.Uint("id", id)
-		_ = p.finishSend(buf, &e, at, src) //nolint:errcheck
+		_ = p.finishSend(buf, &e, at, atLow, srcAddr, srcLow) //nolint:errcheck
 		return
 	}
 	obj.Dispatch(op, args, func(result codec.Record, err error) {
 		p.mu.Lock()
 		p.stats.Replies++
 		p.mu.Unlock()
+		at, atLow := p.replyRef(atID)
 		buf := codec.GetBuffer()
 		if err != nil {
 			e := schemaReplyErr.Encoder(buf.B[:0])
 			e.Str("error", err.Error())
 			e.Uint("id", id)
-			_ = p.finishSend(buf, &e, at, src) //nolint:errcheck
+			_ = p.finishSend(buf, &e, at, atLow, srcAddr, srcLow) //nolint:errcheck
 			return
 		}
 		if result == nil {
@@ -366,7 +436,7 @@ func (p *Platform) handleCall(src, at Addr, v *codec.MsgView) {
 		e := schemaReplyOK.Encoder(buf.B[:0])
 		e.Uint("id", id)
 		e.Value("result", result)
-		_ = p.finishSend(buf, &e, at, src) //nolint:errcheck
+		_ = p.finishSend(buf, &e, at, atLow, srcAddr, srcLow) //nolint:errcheck
 	})
 }
 
@@ -393,8 +463,8 @@ func (p *Platform) handleReply(v *codec.MsgView) {
 	pc.cont(result, nil)
 }
 
-func (p *Platform) handleOneway(at Addr, v *codec.MsgView) {
-	obj, op, args, ok := p.lookupLocal(at, v)
+func (p *Platform) handleOneway(atID int32, v *codec.MsgView) {
+	obj, op, args, ok := p.lookupLocal(atID, v)
 	if !ok {
 		return
 	}
@@ -408,20 +478,23 @@ func (p *Platform) handleEnqueue(v *codec.MsgView) {
 	p.deliverQueued(string(queue), codec.NewMessage(string(name), fields))
 }
 
-func (p *Platform) handleDeliver(at Addr, v *codec.MsgView) {
+// handleDeliver demultiplexes a queue delivery at the consuming node: the
+// node's dense consumer table is scanned for the queue (nodes consume
+// from a handful of queues; the name compare takes Go's pointer-equality
+// fast path for interned literals) and the first matching consumer —
+// subscription order, as the legacy table produced — gets the message.
+func (p *Platform) handleDeliver(atID int32, v *codec.MsgView) {
 	queue, _ := v.Str("queue")
 	p.mu.Lock()
-	q := p.queues[string(queue)]
+	sinks := p.queueSinks[atID]
+	p.mu.Unlock()
 	var fn func(codec.Message)
-	if q != nil {
-		for _, c := range q.consumers {
-			if c.node == at {
-				fn = c.fn
-				break
-			}
+	for i := range sinks {
+		if sinks[i].queue == string(queue) {
+			fn = sinks[i].fn
+			break
 		}
 	}
-	p.mu.Unlock()
 	if fn != nil {
 		name, _ := v.Str("name")
 		fields, _ := v.Record("fields")
@@ -433,18 +506,25 @@ func (p *Platform) handleDeliver(at Addr, v *codec.MsgView) {
 // envelope is re-framed as mw.event by splicing the raw name and fields
 // bytes out of the incoming view — the application payload is never
 // rematerialized at the broker — and the single encoded buffer fans out
-// to every subscriber node.
+// to every subscriber node over the topic's dense tables resolved at
+// subscribe time (one string-keyed topic probe per publish; everything
+// after it is slice-indexed).
 func (p *Platform) handlePublish(v *codec.MsgView) {
 	topic, _ := v.Str("topic")
 	p.mu.Lock()
 	t := p.topics[string(topic)]
-	var nodes []Addr
-	if t != nil {
-		nodes = make([]Addr, len(t.subs))
-		for i, s := range t.subs {
-			nodes[i] = s.node
-		}
+	var (
+		nodes  []Addr
+		lows   []int32
+		allLow bool
+	)
+	if t != nil && len(t.nodes) > 0 {
+		nodes, lows, allLow = t.nodes, t.lows, t.allLow
 		p.stats.EventDeliver += uint64(len(nodes))
+	}
+	var fromLow int32 = -1
+	if p.brokerID >= 0 {
+		fromLow = p.nodeLows[p.brokerID]
 	}
 	p.mu.Unlock()
 	if len(nodes) == 0 {
@@ -473,30 +553,38 @@ func (p *Platform) handlePublish(v *codec.MsgView) {
 		return
 	}
 	//nolint:errcheck // event delivery failure = event loss, acceptable for pub/sub sim
-	_ = p.sendMultiData(p.broker, nodes, data)
+	_ = p.sendMultiData(p.broker, fromLow, nodes, lows, allLow, data)
 	buf.B = data
 	buf.Release()
 }
 
-func (p *Platform) handleEvent(at Addr, v *codec.MsgView) {
+// handleEvent demultiplexes an event at a subscriber node over the
+// node's dense sink table: view sinks receive the envelope in place
+// (zero-copy, zero-alloc); message sinks share one materialization per
+// event, exactly as the legacy path did. Sinks fire in subscription
+// order.
+func (p *Platform) handleEvent(atID int32, v *codec.MsgView) {
 	topic, _ := v.Str("topic")
 	p.mu.Lock()
-	t := p.topics[string(topic)]
-	var fns []func(codec.Message)
-	if t != nil {
-		for _, s := range t.subs {
-			if s.node == at {
-				fns = append(fns, s.fn)
-			}
-		}
-	}
+	sinks := p.eventSinks[atID]
 	p.mu.Unlock()
-	if len(fns) == 0 {
-		return
-	}
-	name, _ := v.Str("name")
-	fields, _ := v.Record("fields")
-	for _, fn := range fns {
-		fn(codec.NewMessage(string(name), fields))
+	var msg codec.Message
+	built := false
+	for i := range sinks {
+		s := &sinks[i]
+		if s.topic != string(topic) {
+			continue
+		}
+		if s.viewFn != nil {
+			s.viewFn(*v)
+			continue
+		}
+		if !built {
+			name, _ := v.Str("name")
+			fields, _ := v.Record("fields")
+			msg = codec.NewMessage(string(name), fields)
+			built = true
+		}
+		s.fn(msg)
 	}
 }

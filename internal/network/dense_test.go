@@ -1,0 +1,193 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// The tests in this file pin the dense routing plane's edge cases:
+// dynamic registration growing the link grid mid-run, partition toggling
+// between slot-addressed sends, and the slot plane consuming randomness
+// exactly as the name-addressed plane does (the property the sweep's
+// byte-identical CSV rests on).
+
+// TestRegisterAfterTrafficGridGrowth registers nodes after traffic has
+// started — enough of them to force a grid rebuild — and checks that
+// pre-registration link configuration, existing slots, and in-flight
+// style traffic all survive the growth.
+func TestRegisterAfterTrafficGridGrowth(t *testing.T) {
+	kernel := sim.NewKernel()
+	n := New(kernel, WithDefaultLink(LinkConfig{Latency: time.Millisecond}))
+
+	got := make(map[NodeID]int)
+	handler := func(dst NodeID) SlotHandler {
+		return func(src Slot, payload []byte) { got[dst]++ }
+	}
+	a, err := n.Register("a", handler("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Register("b", handler("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Configure a link for a node that does not exist yet: it must take
+	// effect when the node registers (here: a partitioned link, the most
+	// observable configuration).
+	if err := n.SetLink("a", "late", LinkConfig{Latency: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	n.Partition("a", "late")
+
+	// Traffic before growth.
+	if err := n.SendSlot(a, b, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got["b"] != 1 {
+		t.Fatalf("b got %d datagrams before growth, want 1", got["b"])
+	}
+
+	// Register past the initial grid width (4) to force a rebuild.
+	var late Slot
+	for _, id := range []NodeID{"c", "d", "late", "f"} {
+		s, err := n.Register(id, handler(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id == "late" {
+			late = s
+		}
+	}
+	if s, ok := n.SlotOf("a"); !ok || s != a {
+		t.Fatalf("slot of a changed across growth: %d → %d", a, s)
+	}
+	if n.NumSlots() != 6 {
+		t.Fatalf("NumSlots = %d, want 6", n.NumSlots())
+	}
+
+	// The pre-registration partition must be live in the rebuilt grid.
+	if err := n.SendSlot(a, late, []byte("cut")); err != nil {
+		t.Fatal(err)
+	}
+	// And existing links still work.
+	if err := n.SendSlot(a, b, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got["late"] != 0 {
+		t.Fatalf("late got %d datagrams through a partitioned link, want 0", got["late"])
+	}
+	if got["b"] != 2 {
+		t.Fatalf("b got %d datagrams after growth, want 2", got["b"])
+	}
+	st := n.Stats()
+	if st.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", st.Dropped)
+	}
+}
+
+// TestPartitionToggleMidRun toggles a partition on and off between
+// slot-addressed sends inside one kernel run and checks exactly the
+// right datagrams are lost.
+func TestPartitionToggleMidRun(t *testing.T) {
+	kernel := sim.NewKernel()
+	n := New(kernel)
+	var got []string
+	a, err := n.Register("a", func(src Slot, payload []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Register("b", func(src Slot, payload []byte) {
+		got = append(got, string(payload))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := func(msg string) {
+		if err := n.SendSlot(a, b, []byte(msg)); err != nil {
+			t.Errorf("send %q: %v", msg, err)
+		}
+	}
+	send("before")
+	kernel.ScheduleFunc(2*time.Millisecond, func() {
+		n.Partition("a", "b")
+		send("during")
+	})
+	kernel.ScheduleFunc(4*time.Millisecond, func() {
+		n.Heal("a", "b")
+		send("after")
+	})
+	if _, err := kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "before" || got[1] != "after" {
+		t.Fatalf("delivered %q, want [before after]", got)
+	}
+	if st := n.Stats(); st.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", st.Dropped)
+	}
+}
+
+// TestSlotPlaneMatchesNamePlane drives two identical lossy/jittery
+// networks from the same seed, one through the name-addressed Send and
+// one through SendSlot, and requires identical delivery traces: the slot
+// plane must consume kernel randomness exactly like the compatibility
+// plane (the invariant behind the sweep's byte-identical CSV).
+func TestSlotPlaneMatchesNamePlane(t *testing.T) {
+	run := func(useSlots bool) ([]string, Stats) {
+		kernel := sim.NewKernel(sim.WithSeed(77))
+		n := New(kernel, WithDefaultLink(LinkConfig{
+			Latency:       time.Millisecond,
+			Jitter:        3 * time.Millisecond,
+			LossRate:      0.3,
+			DuplicateRate: 0.2,
+		}))
+		var got []string
+		if err := n.AddNode("a", func(src NodeID, p []byte) {}); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.AddNode("b", func(src NodeID, p []byte) {
+			got = append(got, string(p))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		a, _ := n.SlotOf("a")
+		b, _ := n.SlotOf("b")
+		for i := 0; i < 40; i++ {
+			payload := []byte{byte(i)}
+			var err error
+			if useSlots {
+				err = n.SendSlot(a, b, payload)
+			} else {
+				err = n.Send("a", "b", payload)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := kernel.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return got, n.Stats()
+	}
+	gotName, statsName := run(false)
+	gotSlot, statsSlot := run(true)
+	if statsName != statsSlot {
+		t.Fatalf("stats diverge: name=%+v slot=%+v", statsName, statsSlot)
+	}
+	if len(gotName) != len(gotSlot) {
+		t.Fatalf("delivery counts diverge: %d vs %d", len(gotName), len(gotSlot))
+	}
+	for i := range gotName {
+		if gotName[i] != gotSlot[i] {
+			t.Fatalf("delivery %d diverges: %q vs %q", i, gotName[i], gotSlot[i])
+		}
+	}
+}

@@ -11,6 +11,19 @@
 // The service offered at this level is an *unreliable datagram* service:
 // higher layers (internal/protocol) build reliable datagram delivery on top
 // of it, exactly as the protocol-centred paradigm prescribes.
+//
+// # Dense routing plane
+//
+// Every node receives a dense small-int Slot at registration. Handlers
+// live in a slot-indexed slice and link state (config, partition flag)
+// lives in a flat fromSlot×toSlot grid, so the steady-state send and
+// delivery paths — SendSlot, SendMultiSlot and the pooled delivery
+// events they schedule — perform zero map lookups and zero allocations.
+// The string-keyed API (Send, SendMulti, AddNode, SetLink, …) remains as
+// the control plane and as a compatibility wrapper that resolves names
+// to slots on entry. Registering nodes after traffic has started is
+// supported: the grid grows (amortised) and in-flight deliveries keep
+// their slots, which stay valid for the network's lifetime.
 package network
 
 import (
@@ -29,10 +42,18 @@ var (
 	ErrUnknownNode   = errors.New("network: unknown node")
 	ErrDuplicateNode = errors.New("network: node already registered")
 	ErrTooLarge      = errors.New("network: payload exceeds link MTU")
+	ErrBadSlot       = errors.New("network: slot out of range")
 )
 
 // NodeID names a node on the simulated network.
 type NodeID string
+
+// Slot is a node's dense index, assigned at registration time. Slots
+// count up from zero in registration order and stay valid for the
+// network's lifetime, so slot-indexed tables in higher layers never need
+// rebuilding on their account. It is an alias for int32 so higher-layer
+// dense id tables ([]int32) interoperate without conversions.
+type Slot = int32
 
 // Handler receives datagrams delivered to a node.
 //
@@ -43,6 +64,11 @@ type NodeID string
 // internal/codec's materializing APIs copies implicitly, while MsgView
 // accessors alias and must not outlive the call.
 type Handler func(src NodeID, payload []byte)
+
+// SlotHandler is the dense-plane variant of Handler: the source is
+// identified by its slot, so the delivery path resolves no names. The
+// same payload aliasing contract as Handler applies.
+type SlotHandler func(src Slot, payload []byte)
 
 // LinkConfig describes the behaviour of a directed link.
 type LinkConfig struct {
@@ -96,16 +122,72 @@ func WithDefaultLink(cfg LinkConfig) Option {
 	return func(n *Network) { n.defaultLink = cfg }
 }
 
+// linkState is one cell of the flat link grid: the effective directed
+// link state between two registered slots.
+type linkState struct {
+	cfg LinkConfig
+	// explicit marks cells configured via SetLink; others use the
+	// network default.
+	explicit    bool
+	partitioned bool
+}
+
+// delivery is a pooled in-flight datagram: the closure scheduled on the
+// kernel is built once per pooled object and reused, so steady-state
+// delivery allocates nothing.
+type delivery struct {
+	n        *Network
+	src, dst Slot
+	buf      *codec.Buffer
+	fn       func()
+	next     *delivery
+}
+
+func (d *delivery) run() {
+	n := d.n
+	n.mu.Lock()
+	var h SlotHandler
+	if int(d.dst) < len(n.handlers) {
+		h = n.handlers[d.dst]
+	}
+	if h != nil {
+		n.stats.Delivered++
+	}
+	n.mu.Unlock()
+	if h != nil {
+		h(d.src, d.buf.B)
+	}
+	buf := d.buf
+	d.buf = nil
+	buf.Release()
+	n.mu.Lock()
+	d.next = n.freeDeliveries
+	n.freeDeliveries = d
+	n.mu.Unlock()
+}
+
 // Network is the simulated interconnection fabric. Create one with New.
 type Network struct {
 	kernel      *sim.Kernel
 	defaultLink LinkConfig
 
-	mu        sync.Mutex
-	nodes     map[NodeID]Handler
+	mu       sync.Mutex
+	slots    map[NodeID]Slot
+	ids      []NodeID      // slot → name
+	handlers []SlotHandler // slot → delivery handler
+
+	// grid is the flat fromSlot×toSlot link table (gridW is its stride,
+	// grown geometrically). links/partition remain the configuration
+	// source of truth — they may name nodes registered later — and the
+	// grid is the materialized fast path over registered pairs.
+	grid      []linkState
+	gridW     int
 	links     map[linkKey]LinkConfig
 	partition map[linkKey]bool
-	stats     Stats
+
+	freeDeliveries *delivery
+	scratch        []sim.BatchEntry
+	stats          Stats
 }
 
 type linkKey struct{ src, dst NodeID }
@@ -115,7 +197,7 @@ func New(kernel *sim.Kernel, opts ...Option) *Network {
 	n := &Network{
 		kernel:      kernel,
 		defaultLink: LinkConfig{Latency: time.Millisecond},
-		nodes:       make(map[NodeID]Handler),
+		slots:       make(map[NodeID]Slot),
 		links:       make(map[linkKey]LinkConfig),
 		partition:   make(map[linkKey]bool),
 	}
@@ -128,18 +210,48 @@ func New(kernel *sim.Kernel, opts ...Option) *Network {
 // Kernel returns the simulation kernel the network schedules on.
 func (n *Network) Kernel() *sim.Kernel { return n.kernel }
 
-// AddNode registers a node and its delivery handler.
+// Register adds a node with a slot-addressed handler and returns its
+// dense slot — the entry point of the map-free plane. Registration is
+// valid at any time, including after traffic has started: the link grid
+// grows to cover the new slot and existing slots are unaffected.
+func (n *Network) Register(id NodeID, h SlotHandler) (Slot, error) {
+	if h == nil {
+		return -1, fmt.Errorf("network: nil handler for node %q", id)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.slots[id]; ok {
+		return -1, fmt.Errorf("%w: %q", ErrDuplicateNode, id)
+	}
+	s := Slot(len(n.ids))
+	n.slots[id] = s
+	n.ids = append(n.ids, id)
+	n.handlers = append(n.handlers, h)
+	n.ensureGridLocked(len(n.ids))
+	n.materializeNodeLocked(id, s)
+	return s, nil
+}
+
+// AddNode registers a node and its name-addressed delivery handler (the
+// compatibility plane; Register is the dense equivalent).
 func (n *Network) AddNode(id NodeID, h Handler) error {
 	if h == nil {
 		return fmt.Errorf("network: nil handler for node %q", id)
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if _, ok := n.nodes[id]; ok {
-		return fmt.Errorf("%w: %q", ErrDuplicateNode, id)
+	_, err := n.Register(id, n.wrapHandler(h))
+	return err
+}
+
+// wrapHandler adapts a name-addressed Handler to the slot plane. The
+// source name is resolved under the lock because the slot→name slice may
+// be growing concurrently.
+func (n *Network) wrapHandler(h Handler) SlotHandler {
+	return func(src Slot, payload []byte) {
+		n.mu.Lock()
+		id := n.ids[src]
+		n.mu.Unlock()
+		h(id, payload)
 	}
-	n.nodes[id] = h
-	return nil
 }
 
 // SetHandler replaces the delivery handler of an existing node.
@@ -147,27 +259,130 @@ func (n *Network) SetHandler(id NodeID, h Handler) error {
 	if h == nil {
 		return fmt.Errorf("network: nil handler for node %q", id)
 	}
+	return n.setSlotHandler(id, n.wrapHandler(h))
+}
+
+// SetSlotHandler replaces the delivery handler of an existing node with a
+// slot-addressed one.
+func (n *Network) SetSlotHandler(id NodeID, h SlotHandler) error {
+	if h == nil {
+		return fmt.Errorf("network: nil handler for node %q", id)
+	}
+	return n.setSlotHandler(id, h)
+}
+
+func (n *Network) setSlotHandler(id NodeID, h SlotHandler) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if _, ok := n.nodes[id]; !ok {
+	s, ok := n.slots[id]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
 	}
-	n.nodes[id] = h
+	n.handlers[s] = h
 	return nil
+}
+
+// SlotOf resolves a node name to its dense slot.
+func (n *Network) SlotOf(id NodeID) (Slot, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.slots[id]
+	return s, ok
+}
+
+// IDOf resolves a slot back to its node name. It returns "" for slots
+// the network never issued.
+func (n *Network) IDOf(s Slot) NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if s < 0 || int(s) >= len(n.ids) {
+		return ""
+	}
+	return n.ids[s]
+}
+
+// NumSlots returns the number of slots issued so far (slots are
+// 0..NumSlots-1).
+func (n *Network) NumSlots() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.ids)
 }
 
 // Nodes returns the registered node ids in unspecified order.
 func (n *Network) Nodes() []NodeID {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	out := make([]NodeID, 0, len(n.nodes))
-	for id := range n.nodes {
-		out = append(out, id)
-	}
+	out := make([]NodeID, len(n.ids))
+	copy(out, n.ids)
 	return out
 }
 
-// SetLink configures the directed link src→dst.
+// ensureGridLocked grows the flat link grid so it covers count slots.
+// Growth is geometric, and the rebuilt grid is rematerialized from the
+// configuration maps — the graceful path for dynamic registration.
+func (n *Network) ensureGridLocked(count int) {
+	if count <= n.gridW {
+		return
+	}
+	w := n.gridW * 2
+	if w < 4 {
+		w = 4
+	}
+	for w < count {
+		w *= 2
+	}
+	grid := make([]linkState, w*w)
+	for k, cfg := range n.links {
+		si, ok1 := n.slots[k.src]
+		di, ok2 := n.slots[k.dst]
+		if ok1 && ok2 {
+			c := &grid[int(si)*w+int(di)]
+			c.cfg, c.explicit = cfg, true
+		}
+	}
+	for k, cut := range n.partition {
+		if !cut {
+			continue
+		}
+		si, ok1 := n.slots[k.src]
+		di, ok2 := n.slots[k.dst]
+		if ok1 && ok2 {
+			grid[int(si)*w+int(di)].partitioned = true
+		}
+	}
+	n.grid, n.gridW = grid, w
+}
+
+// materializeNodeLocked fills the grid row and column of a newly
+// registered node from the configuration maps (SetLink/Partition calls
+// may predate registration).
+func (n *Network) materializeNodeLocked(id NodeID, s Slot) {
+	for k, cfg := range n.links {
+		if k.src != id && k.dst != id {
+			continue
+		}
+		si, ok1 := n.slots[k.src]
+		di, ok2 := n.slots[k.dst]
+		if ok1 && ok2 {
+			c := &n.grid[int(si)*n.gridW+int(di)]
+			c.cfg, c.explicit = cfg, true
+		}
+	}
+	for k, cut := range n.partition {
+		if !cut || (k.src != id && k.dst != id) {
+			continue
+		}
+		si, ok1 := n.slots[k.src]
+		di, ok2 := n.slots[k.dst]
+		if ok1 && ok2 {
+			n.grid[int(si)*n.gridW+int(di)].partitioned = true
+		}
+	}
+}
+
+// SetLink configures the directed link src→dst. Either endpoint may be
+// registered later; the configuration takes effect when both exist.
 func (n *Network) SetLink(src, dst NodeID, cfg LinkConfig) error {
 	if err := cfg.validate(); err != nil {
 		return err
@@ -175,6 +390,12 @@ func (n *Network) SetLink(src, dst NodeID, cfg LinkConfig) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.links[linkKey{src, dst}] = cfg
+	if si, ok := n.slots[src]; ok {
+		if di, ok := n.slots[dst]; ok {
+			c := &n.grid[int(si)*n.gridW+int(di)]
+			c.cfg, c.explicit = cfg, true
+		}
+	}
 	return nil
 }
 
@@ -186,12 +407,12 @@ func (n *Network) SetLinkBoth(a, b NodeID, cfg LinkConfig) error {
 	return n.SetLink(b, a, cfg)
 }
 
-// Partition cuts (or, with healed=false... see Heal) the directed link
-// src→dst: datagrams are silently dropped, as in a network partition.
+// Partition cuts the directed link src→dst: datagrams are silently
+// dropped, as in a network partition. Toggling mid-run is supported and
+// affects only datagrams sent after the call (in-flight deliveries
+// already left the link).
 func (n *Network) Partition(src, dst NodeID) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.partition[linkKey{src, dst}] = true
+	n.setPartition(src, dst, true)
 }
 
 // PartitionBoth cuts both directions between a and b.
@@ -202,9 +423,7 @@ func (n *Network) PartitionBoth(a, b NodeID) {
 
 // Heal restores the directed link src→dst after a Partition.
 func (n *Network) Heal(src, dst NodeID) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	delete(n.partition, linkKey{src, dst})
+	n.setPartition(src, dst, false)
 }
 
 // HealBoth restores both directions between a and b.
@@ -213,22 +432,58 @@ func (n *Network) HealBoth(a, b NodeID) {
 	n.Heal(b, a)
 }
 
-// linkFor returns the effective configuration of the src→dst link.
-func (n *Network) linkFor(src, dst NodeID) LinkConfig {
-	if cfg, ok := n.links[linkKey{src, dst}]; ok {
-		return cfg
+func (n *Network) setPartition(src, dst NodeID, cut bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cut {
+		n.partition[linkKey{src, dst}] = true
+	} else {
+		delete(n.partition, linkKey{src, dst})
 	}
-	return n.defaultLink
+	if si, ok := n.slots[src]; ok {
+		if di, ok := n.slots[dst]; ok {
+			n.grid[int(si)*n.gridW+int(di)].partitioned = cut
+		}
+	}
 }
 
 // Send transmits payload from src to dst as an unreliable datagram. The
 // payload is copied, so the caller may reuse its buffer. Send never blocks;
 // delivery (if any) happens later in virtual time.
+//
+// Send resolves both names on entry; steady-state senders should resolve
+// once and use SendSlot.
 func (n *Network) Send(src, dst NodeID, payload []byte) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if _, ok := n.nodes[src]; !ok {
+	ss, ok := n.slots[src]
+	if !ok {
 		return fmt.Errorf("%w: source %q", ErrUnknownNode, src)
+	}
+	ds, ok := n.slots[dst]
+	if !ok {
+		return fmt.Errorf("%w: destination %q", ErrUnknownNode, dst)
+	}
+	var batch [2]sim.BatchEntry
+	entries, err := n.transmitLocked(n.kernel.Rand(), ss, ds, payload, batch[:0])
+	if err != nil {
+		return err
+	}
+	n.kernel.ScheduleBatch(entries)
+	return nil
+}
+
+// SendSlot is the dense-plane Send: both endpoints are named by slot and
+// the whole path — link lookup, loss/jitter draws, delivery scheduling —
+// performs no map lookups and no allocations in steady state.
+func (n *Network) SendSlot(src, dst Slot, payload []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if int(src) >= len(n.ids) || src < 0 {
+		return fmt.Errorf("%w: source %d", ErrBadSlot, src)
+	}
+	if int(dst) >= len(n.ids) || dst < 0 {
+		return fmt.Errorf("%w: destination %d", ErrBadSlot, dst)
 	}
 	var batch [2]sim.BatchEntry
 	entries, err := n.transmitLocked(n.kernel.Rand(), src, dst, payload, batch[:0])
@@ -249,13 +504,51 @@ func (n *Network) Send(src, dst NodeID, payload []byte) error {
 func (n *Network) SendMulti(src NodeID, dsts []NodeID, payload []byte) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if _, ok := n.nodes[src]; !ok {
+	ss, ok := n.slots[src]
+	if !ok {
 		return fmt.Errorf("%w: source %q", ErrUnknownNode, src)
 	}
 	var firstErr error
 	rng := n.kernel.Rand()
-	entries := make([]sim.BatchEntry, 0, len(dsts))
+	entries := n.scratch[:0]
 	for _, dst := range dsts {
+		ds, ok := n.slots[dst]
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: destination %q", ErrUnknownNode, dst)
+			}
+			continue
+		}
+		var err error
+		entries, err = n.transmitLocked(rng, ss, ds, payload, entries)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	n.kernel.ScheduleBatch(entries)
+	n.scratch = entries[:0]
+	return firstErr
+}
+
+// SendMultiSlot is the dense-plane SendMulti: the fan-out list is slot
+// addressed and the batch scratch is reused across calls, so steady-state
+// fan-out allocates nothing.
+func (n *Network) SendMultiSlot(src Slot, dsts []Slot, payload []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if int(src) >= len(n.ids) || src < 0 {
+		return fmt.Errorf("%w: source %d", ErrBadSlot, src)
+	}
+	var firstErr error
+	rng := n.kernel.Rand()
+	entries := n.scratch[:0]
+	for _, dst := range dsts {
+		if int(dst) >= len(n.ids) || dst < 0 {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: destination %d", ErrBadSlot, dst)
+			}
+			continue
+		}
 		var err error
 		entries, err = n.transmitLocked(rng, src, dst, payload, entries)
 		if err != nil && firstErr == nil {
@@ -263,6 +556,7 @@ func (n *Network) SendMulti(src NodeID, dsts []NodeID, payload []byte) error {
 		}
 	}
 	n.kernel.ScheduleBatch(entries)
+	n.scratch = entries[:0]
 	return firstErr
 }
 
@@ -271,17 +565,18 @@ func (n *Network) SendMulti(src NodeID, dsts []NodeID, payload []byte) error {
 // to entries. It must be called with n.mu held, and consumes kernel
 // randomness in a fixed order (loss, jitter, duplicate, duplicate jitter)
 // to keep traces deterministic.
-func (n *Network) transmitLocked(rng *rand.Rand, src, dst NodeID, payload []byte, entries []sim.BatchEntry) ([]sim.BatchEntry, error) {
-	if _, ok := n.nodes[dst]; !ok {
-		return entries, fmt.Errorf("%w: destination %q", ErrUnknownNode, dst)
+func (n *Network) transmitLocked(rng *rand.Rand, src, dst Slot, payload []byte, entries []sim.BatchEntry) ([]sim.BatchEntry, error) {
+	cell := &n.grid[int(src)*n.gridW+int(dst)]
+	cfg := &n.defaultLink
+	if cell.explicit {
+		cfg = &cell.cfg
 	}
-	cfg := n.linkFor(src, dst)
 	if cfg.MTU > 0 && len(payload) > cfg.MTU {
-		return entries, fmt.Errorf("%w: %d > %d (link %s→%s)", ErrTooLarge, len(payload), cfg.MTU, src, dst)
+		return entries, fmt.Errorf("%w: %d > %d (link %s→%s)", ErrTooLarge, len(payload), cfg.MTU, n.ids[src], n.ids[dst])
 	}
 	n.stats.Sent++
 	n.stats.BytesSent += uint64(len(payload))
-	if n.partition[linkKey{src, dst}] {
+	if cell.partitioned {
 		n.stats.Dropped++
 		return entries, nil
 	}
@@ -301,26 +596,24 @@ func (n *Network) transmitLocked(rng *rand.Rand, src, dst NodeID, payload []byte
 }
 
 // deliveryLocked draws the link jitter and builds the delivery event for
-// one datagram copy. It must be called with n.mu held. The pooled buffer
-// is recycled as soon as the handler returns (see Handler's aliasing
-// contract).
-func (n *Network) deliveryLocked(rng *rand.Rand, src, dst NodeID, cfg LinkConfig, buf *codec.Buffer) sim.BatchEntry {
+// one datagram copy from the pooled delivery free list. It must be
+// called with n.mu held. The pooled buffer is recycled as soon as the
+// handler returns (see Handler's aliasing contract).
+func (n *Network) deliveryLocked(rng *rand.Rand, src, dst Slot, cfg *LinkConfig, buf *codec.Buffer) sim.BatchEntry {
 	delay := cfg.Latency
 	if cfg.Jitter > 0 {
 		delay += time.Duration(rng.Int63n(int64(cfg.Jitter)))
 	}
-	return sim.BatchEntry{Delay: delay, Fn: func() {
-		n.mu.Lock()
-		h, ok := n.nodes[dst]
-		if ok {
-			n.stats.Delivered++
-		}
-		n.mu.Unlock()
-		if ok {
-			h(src, buf.B)
-		}
-		buf.Release()
-	}}
+	d := n.freeDeliveries
+	if d != nil {
+		n.freeDeliveries = d.next
+		d.next = nil
+	} else {
+		d = &delivery{n: n}
+		d.fn = d.run
+	}
+	d.src, d.dst, d.buf = src, dst, buf
+	return sim.BatchEntry{Delay: delay, Fn: d.fn}
 }
 
 // Stats returns a snapshot of the network counters.

@@ -33,10 +33,15 @@ type Entity interface {
 }
 
 // Context is an entity's window on its layer: its own address, PDU
-// transmission, timers and the upcall to its local service user.
+// transmission, timers and the upcall to its local service user. The
+// entity's own dense ids (layer slot, lower endpoint id) are resolved
+// once at AddEntity time and cached here, so per-PDU work touches only
+// slice-indexed tables.
 type Context struct {
-	layer *Layer
-	self  Addr
+	layer   *Layer
+	self    Addr
+	selfID  int32 // layer-local entity slot
+	selfLow int32 // lower-service endpoint id (-1 on non-indexed lowers)
 }
 
 // Self returns the entity's address.
@@ -62,8 +67,7 @@ func (c *Context) SendPDU(dst Addr, pdu codec.Message) error {
 		buf.Release()
 		return fmt.Errorf("protocol: encode PDU %q: %w", pdu.Name, err)
 	}
-	c.layer.countPDU(pdu.Name, len(data))
-	err = c.layer.lower.Send(c.self, dst, data)
+	err = c.layer.sendEncoded(c, dst, pdu.Name, data)
 	buf.B = data
 	buf.Release()
 	if err != nil {
@@ -73,12 +77,12 @@ func (c *Context) SendPDU(dst Addr, pdu codec.Message) error {
 }
 
 // SendPDUMulti encodes pdu once and transmits it to every destination in
-// order — the fan-out path for broadcast-style protocol entities. When
-// the lower service supports batch fan-out (MultiSender) all deliveries
-// are scheduled in one call; otherwise it degrades to a Send loop with
-// identical semantics (including randomness consumption, so traces are
-// unchanged). Layer counters advance exactly as if SendPDU were called
-// once per destination.
+// order — the fan-out path for broadcast-style protocol entities. On an
+// indexed lower with every destination resolved, the fan-out rides the
+// dense batch path; otherwise it degrades to a Send loop with identical
+// semantics (including randomness consumption, so traces are unchanged).
+// Layer counters advance exactly as if SendPDU were called once per
+// destination.
 func (c *Context) SendPDUMulti(dsts []Addr, pdu codec.Message) error {
 	if len(dsts) == 0 {
 		return nil
@@ -93,59 +97,85 @@ func (c *Context) SendPDUMulti(dsts []Addr, pdu codec.Message) error {
 		buf.B = data
 		buf.Release()
 	}()
-	c.layer.countPDUs(pdu.Name, len(data), len(dsts))
-	if ms, ok := c.layer.lower.(MultiSender); ok {
-		if err := ms.SendMulti(c.self, dsts, data); err != nil {
-			return fmt.Errorf("protocol: send PDU %q fan-out from %s: %w", pdu.Name, c.self, err)
-		}
-		return nil
+	if err := c.layer.sendEncodedMulti(c, dsts, pdu.Name, data); err != nil {
+		return fmt.Errorf("protocol: send PDU %q fan-out from %s: %w", pdu.Name, c.self, err)
 	}
-	var firstErr error
-	for _, dst := range dsts {
-		if err := c.layer.lower.Send(c.self, dst, data); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("protocol: send PDU %q %s→%s: %w", pdu.Name, c.self, dst, err)
-		}
-	}
-	return firstErr
+	return nil
 }
 
 // DeliverToUser executes a to-user service primitive at this entity's SAP.
 // It is a no-op if the user part has not attached a handler.
 func (c *Context) DeliverToUser(primitive string, params codec.Record) {
-	c.layer.deliverUp(c.self, primitive, params)
+	c.layer.deliverUp(c.selfID, primitive, params)
 }
 
 // LayerStats counts the PDU traffic a layer generated — the measurable
 // footprint of a protocol solution.
+//
+// ByType is a lazily rebuilt snapshot shared between Stats callers:
+// treat it as read-only. A fresh map is materialized only when counters
+// changed since the last snapshot, so polling Stats in a loop does not
+// allocate.
 type LayerStats struct {
 	PDUsSent  uint64
 	BytesSent uint64
 	ByType    map[string]uint64
 }
 
+// typeCounter is one interned per-PDU-type slot. Lookup is a linear scan
+// with Go's pointer-equality string fast path: PDU names are string
+// literals, so the steady-state stats hot path never hashes (layers see
+// a handful of PDU types; the scan beats a map well past that).
+type typeCounter struct {
+	name string
+	n    uint64
+}
+
+// entityEntry is the per-slot state of a layer's dense entity table.
+type entityEntry struct {
+	addr   Addr
+	entity Entity
+	upcall func(primitive string, params codec.Record)
+}
+
 // Layer binds protocol entities (one per address) over a lower-level
 // service: the structure the paper's Figure 2 depicts. Its upper boundary
 // is a service; expose it to user parts with NewServiceBinding.
+//
+// Entities, upcalls and stats counters live in dense slot-indexed tables
+// resolved once at AddEntity time; per-message work does at most one
+// small-map probe (destination address → lower id, cached after the
+// first resolution).
 type Layer struct {
 	name   string
 	kernel *sim.Kernel
 	lower  LowerService
+	ilower IndexedLower // non-nil when lower supports the dense plane
 
-	mu       sync.Mutex
-	entities map[Addr]Entity
-	upcalls  map[Addr]func(primitive string, params codec.Record)
-	stats    LayerStats
+	mu         sync.Mutex
+	ids        map[Addr]int32
+	ents       []entityEntry
+	lowerAddrs []Addr         // lower endpoint id → address (receive cache)
+	dstLow     map[Addr]int32 // destination → lower endpoint id (send cache)
+	lowScratch []int32        // fan-out scratch, reused across SendPDUMulti calls
+
+	pdusSent  uint64
+	bytesSent uint64
+	types     []typeCounter
+	snapshot  map[string]uint64
+	snapDirty bool
 }
 
 // NewLayer creates an empty layer over lower.
 func NewLayer(name string, kernel *sim.Kernel, lower LowerService) *Layer {
+	il, _ := lower.(IndexedLower)
 	return &Layer{
-		name:     name,
-		kernel:   kernel,
-		lower:    lower,
-		entities: make(map[Addr]Entity),
-		upcalls:  make(map[Addr]func(string, codec.Record)),
-		stats:    LayerStats{ByType: make(map[string]uint64)},
+		name:   name,
+		kernel: kernel,
+		lower:  lower,
+		ilower: il,
+		ids:    make(map[Addr]int32),
+		dstLow: make(map[Addr]int32),
 	}
 }
 
@@ -155,6 +185,33 @@ func (l *Layer) Name() string { return l.name }
 // Kernel returns the layer's simulation kernel.
 func (l *Layer) Kernel() *sim.Kernel { return l.kernel }
 
+// internLocked returns addr's entity slot, assigning one on first sight.
+func (l *Layer) internLocked(addr Addr) int32 {
+	if id, ok := l.ids[addr]; ok {
+		return id
+	}
+	id := int32(len(l.ents))
+	l.ids[addr] = id
+	l.ents = append(l.ents, entityEntry{addr: addr})
+	return id
+}
+
+// addrForLower resolves a lower endpoint id to its address through a
+// cached dense table (one lower query per id, ever).
+func (l *Layer) addrForLower(lowSrc int32) Addr {
+	l.mu.Lock()
+	for int(lowSrc) >= len(l.lowerAddrs) {
+		l.lowerAddrs = append(l.lowerAddrs, "")
+	}
+	a := l.lowerAddrs[lowSrc]
+	if a == "" {
+		a = l.ilower.EndpointAddr(lowSrc)
+		l.lowerAddrs[lowSrc] = a
+	}
+	l.mu.Unlock()
+	return a
+}
+
 // AddEntity installs e at addr: attaches it to the lower service and
 // initializes it.
 func (l *Layer) AddEntity(addr Addr, e Entity) error {
@@ -162,14 +219,28 @@ func (l *Layer) AddEntity(addr Addr, e Entity) error {
 		return fmt.Errorf("protocol: nil entity at %q", addr)
 	}
 	l.mu.Lock()
-	if _, dup := l.entities[addr]; dup {
+	id := l.internLocked(addr)
+	if l.ents[id].entity != nil {
 		l.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrDuplicate, addr)
 	}
-	l.entities[addr] = e
+	l.ents[id].entity = e
 	l.mu.Unlock()
 
-	if err := l.lower.Attach(addr, func(src Addr, data []byte) {
+	selfLow := int32(-1)
+	if l.ilower != nil {
+		lowID, err := l.ilower.AttachIndexed(addr, func(lowSrc int32, data []byte) {
+			msg, err := codec.DecodeMessage(data)
+			if err != nil {
+				return // undecodable PDU: drop
+			}
+			_ = e.FromPeer(l.addrForLower(lowSrc), msg) //nolint:errcheck // entity errors are local design errors surfaced in tests
+		})
+		if err != nil {
+			return fmt.Errorf("protocol: attach %q: %w", addr, err)
+		}
+		selfLow = lowID
+	} else if err := l.lower.Attach(addr, func(src Addr, data []byte) {
 		msg, err := codec.DecodeMessage(data)
 		if err != nil {
 			return // undecodable PDU: drop
@@ -178,7 +249,7 @@ func (l *Layer) AddEntity(addr Addr, e Entity) error {
 	}); err != nil {
 		return fmt.Errorf("protocol: attach %q: %w", addr, err)
 	}
-	if err := e.Init(&Context{layer: l, self: addr}); err != nil {
+	if err := e.Init(&Context{layer: l, self: addr, selfID: id, selfLow: selfLow}); err != nil {
 		return fmt.Errorf("protocol: init entity at %q: %w", addr, err)
 	}
 	return nil
@@ -188,8 +259,11 @@ func (l *Layer) AddEntity(addr Addr, e Entity) error {
 func (l *Layer) Entity(addr Addr) (Entity, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	e, ok := l.entities[addr]
-	return e, ok
+	id, ok := l.ids[addr]
+	if !ok || l.ents[id].entity == nil {
+		return nil, false
+	}
+	return l.ents[id].entity, true
 }
 
 // SetUpcall registers the local user handler for to-user primitives at
@@ -197,41 +271,118 @@ func (l *Layer) Entity(addr Addr) (Entity, bool) {
 func (l *Layer) SetUpcall(addr Addr, fn func(primitive string, params codec.Record)) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.upcalls[addr] = fn
+	id := l.internLocked(addr)
+	l.ents[id].upcall = fn
 }
 
-func (l *Layer) deliverUp(addr Addr, primitive string, params codec.Record) {
+func (l *Layer) deliverUp(id int32, primitive string, params codec.Record) {
 	l.mu.Lock()
-	fn := l.upcalls[addr]
+	fn := l.ents[id].upcall
 	l.mu.Unlock()
 	if fn != nil {
 		fn(primitive, params)
 	}
 }
 
-func (l *Layer) countPDU(name string, bytes int) {
-	l.countPDUs(name, bytes, 1)
+// countLocked advances the interned PDU-type counters. Caller holds l.mu.
+func (l *Layer) countLocked(name string, bytes, n int) {
+	l.pdusSent += uint64(n)
+	l.bytesSent += uint64(n) * uint64(bytes)
+	l.snapDirty = true
+	for i := range l.types {
+		if l.types[i].name == name {
+			l.types[i].n += uint64(n)
+			return
+		}
+	}
+	l.types = append(l.types, typeCounter{name: name, n: uint64(n)})
 }
 
-// countPDUs counts n identical transmissions of one PDU under a single
-// lock acquisition (the fan-out path).
-func (l *Layer) countPDUs(name string, bytes, n int) {
+// sendEncoded counts and transmits one already-encoded PDU, using the
+// dense plane when the destination's lower id resolves.
+func (l *Layer) sendEncoded(c *Context, dst Addr, name string, data []byte) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.stats.PDUsSent += uint64(n)
-	l.stats.BytesSent += uint64(n) * uint64(bytes)
-	l.stats.ByType[name] += uint64(n)
+	l.countLocked(name, len(data), 1)
+	low := int32(-1)
+	if l.ilower != nil && c.selfLow >= 0 {
+		low = l.dstLowLocked(dst)
+	}
+	l.mu.Unlock()
+	if low >= 0 {
+		return l.ilower.SendIndexed(c.selfLow, low, data)
+	}
+	return l.lower.Send(c.self, dst, data)
 }
 
-// Stats returns a snapshot of the layer counters.
+// sendEncodedMulti counts and transmits one encoded PDU to every
+// destination, through the dense batch path when every id resolves.
+func (l *Layer) sendEncodedMulti(c *Context, dsts []Addr, name string, data []byte) error {
+	l.mu.Lock()
+	l.countLocked(name, len(data), len(dsts))
+	dense := l.ilower != nil && c.selfLow >= 0
+	lows := l.lowScratch[:0]
+	if dense {
+		for _, dst := range dsts {
+			low := l.dstLowLocked(dst)
+			if low < 0 {
+				dense = false
+				break
+			}
+			lows = append(lows, low)
+		}
+		l.lowScratch = lows[:0]
+	}
+	if dense {
+		// The batch send happens with l.mu held so the reused scratch
+		// slice cannot be clobbered by a concurrent fan-out. Lock order
+		// stays acyclic: lower services never call back into the layer
+		// synchronously (deliveries are kernel-scheduled).
+		defer l.mu.Unlock()
+		return l.ilower.SendMultiIndexed(c.selfLow, lows, data)
+	}
+	l.mu.Unlock()
+	if ms, ok := l.lower.(MultiSender); ok {
+		return ms.SendMulti(c.self, dsts, data)
+	}
+	var firstErr error
+	for _, dst := range dsts {
+		if err := l.lower.Send(c.self, dst, data); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// dstLowLocked resolves a destination address to its lower endpoint id
+// through the send cache. Unresolved destinations (peer not attached
+// yet) are not cached, so late attachment is picked up. Caller holds
+// l.mu.
+func (l *Layer) dstLowLocked(dst Addr) int32 {
+	if low, ok := l.dstLow[dst]; ok {
+		return low
+	}
+	low, ok := l.ilower.EndpointID(dst)
+	if !ok {
+		return -1
+	}
+	l.dstLow[dst] = low
+	return low
+}
+
+// Stats returns a snapshot of the layer counters. The ByType map is
+// rebuilt lazily: unchanged counters return the same (read-only) map.
 func (l *Layer) Stats() LayerStats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	byType := make(map[string]uint64, len(l.stats.ByType))
-	for k, v := range l.stats.ByType {
-		byType[k] = v
+	if l.snapshot == nil || l.snapDirty {
+		m := make(map[string]uint64, len(l.types))
+		for _, c := range l.types {
+			m[c.name] = c.n
+		}
+		l.snapshot = m
+		l.snapDirty = false
 	}
-	return LayerStats{PDUsSent: l.stats.PDUsSent, BytesSent: l.stats.BytesSent, ByType: byType}
+	return LayerStats{PDUsSent: l.pdusSent, BytesSent: l.bytesSent, ByType: l.snapshot}
 }
 
 // ServiceBinding exposes a layer's upper boundary as a core.Provider by
@@ -242,27 +393,35 @@ type ServiceBinding struct {
 	layer *Layer
 
 	mu   sync.Mutex
-	saps map[core.SAP]Addr
+	saps map[core.SAP]sapBinding
+}
+
+// sapBinding caches the entity resolved at Bind time (entities are never
+// removed from a layer), so Submit dispatches with one map probe.
+type sapBinding struct {
+	addr   Addr
+	entity Entity
 }
 
 var _ core.Provider = (*ServiceBinding)(nil)
 
 // NewServiceBinding creates an empty SAP→entity binding for a layer.
 func NewServiceBinding(layer *Layer) *ServiceBinding {
-	return &ServiceBinding{layer: layer, saps: make(map[core.SAP]Addr)}
+	return &ServiceBinding{layer: layer, saps: make(map[core.SAP]sapBinding)}
 }
 
 // Bind associates a SAP with the entity at addr.
 func (b *ServiceBinding) Bind(sap core.SAP, addr Addr) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if _, ok := b.layer.Entity(addr); !ok {
+	e, ok := b.layer.Entity(addr)
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownEntity, addr)
 	}
 	if _, dup := b.saps[sap]; dup {
 		return fmt.Errorf("%w: SAP %s", ErrDuplicate, sap)
 	}
-	b.saps[sap] = addr
+	b.saps[sap] = sapBinding{addr: addr, entity: e}
 	return nil
 }
 
@@ -270,16 +429,12 @@ func (b *ServiceBinding) Bind(sap core.SAP, addr Addr) error {
 // the entity serving the SAP.
 func (b *ServiceBinding) Submit(sap core.SAP, primitive string, params codec.Record) error {
 	b.mu.Lock()
-	addr, ok := b.saps[sap]
+	bind, ok := b.saps[sap]
 	b.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotBound, sap)
 	}
-	e, ok := b.layer.Entity(addr)
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownEntity, addr)
-	}
-	if err := e.FromUser(primitive, params); err != nil {
+	if err := bind.entity.FromUser(primitive, params); err != nil {
 		return fmt.Errorf("protocol: %s at %s: %w", primitive, sap, err)
 	}
 	return nil
@@ -288,12 +443,12 @@ func (b *ServiceBinding) Submit(sap core.SAP, primitive string, params codec.Rec
 // Attach implements core.Provider.
 func (b *ServiceBinding) Attach(sap core.SAP, handler func(primitive string, params codec.Record)) {
 	b.mu.Lock()
-	addr, ok := b.saps[sap]
+	bind, ok := b.saps[sap]
 	b.mu.Unlock()
 	if !ok {
 		return
 	}
-	b.layer.SetUpcall(addr, handler)
+	b.layer.SetUpcall(bind.addr, handler)
 }
 
 // ErrNotBound is reported when submitting at an unbound SAP.

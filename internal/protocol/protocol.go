@@ -7,6 +7,8 @@
 // The package provides:
 //
 //   - LowerService: the abstraction of a lower-level data-transfer service;
+//   - IndexedLower: the optional dense-id extension every built-in service
+//     implements, which makes steady-state delivery map-free;
 //   - UnreliableDatagram: the raw simulated network as a lower service;
 //   - ReliableDatagram: a go-back-N protocol layer that turns an unreliable
 //     datagram service into reliable, in-order, exactly-once delivery — the
@@ -42,6 +44,11 @@ var (
 // decoders copy implicitly; codec.MsgView accessors alias).
 type Receiver func(src Addr, pdu []byte)
 
+// IndexedReceiver is the dense-plane Receiver: the source endpoint is
+// identified by the small-int id the lower service assigned it (see
+// IndexedLower). The same pdu aliasing contract as Receiver applies.
+type IndexedReceiver func(src int32, pdu []byte)
+
 // LowerService is the paper's "lower level service": it provides
 // interconnection and data transfer between protocol entities. Reliability
 // properties depend on the implementation.
@@ -66,21 +73,55 @@ type MultiSender interface {
 	SendMulti(src Addr, dsts []Addr, pdu []byte) error
 }
 
+// IndexedLower is the optional LowerService extension behind the repo's
+// map-free delivery plane: endpoints receive dense small-int ids at
+// attach time, receivers are handed source ids instead of names, and the
+// id-addressed send paths do zero map lookups in steady state. Ids count
+// up from zero, are assigned in attach (or first-sight) order, and stay
+// valid for the service's lifetime.
+//
+// Callers type-assert and fall back to the name-addressed LowerService
+// methods when the extension is absent — behaviour is identical either
+// way (including randomness consumption), only the per-message lookup
+// cost differs.
+type IndexedLower interface {
+	LowerService
+	// AttachIndexed registers r for PDUs addressed to addr and returns
+	// addr's dense endpoint id. Re-attaching replaces the receiver and
+	// returns the same id.
+	AttachIndexed(addr Addr, r IndexedReceiver) (int32, error)
+	// EndpointID resolves an attached address to its dense id.
+	EndpointID(addr Addr) (int32, bool)
+	// EndpointAddr resolves a dense id back to its address ("" for ids
+	// the service never issued).
+	EndpointAddr(id int32) Addr
+	// SendIndexed is Send with both endpoints named by dense id.
+	SendIndexed(src, dst int32, pdu []byte) error
+	// SendMultiIndexed is the id-addressed fan-out: identical semantics
+	// to repeated SendIndexed calls in destination order.
+	SendMultiIndexed(src int32, dsts []int32, pdu []byte) error
+}
+
 // UnreliableDatagram adapts the simulated network directly: datagrams may
 // be lost, duplicated or reordered according to the link configuration
-// ("send and pray", §2).
+// ("send and pray", §2). Its dense endpoint ids are exactly the network's
+// node slots, so the indexed paths forward with no translation at all.
 type UnreliableDatagram struct {
 	net *network.Network
 
 	mu       sync.Mutex
-	attached map[Addr]struct{}
+	attached map[Addr]int32 // addr → network slot
 }
 
-var _ LowerService = (*UnreliableDatagram)(nil)
+var (
+	_ LowerService = (*UnreliableDatagram)(nil)
+	_ MultiSender  = (*UnreliableDatagram)(nil)
+	_ IndexedLower = (*UnreliableDatagram)(nil)
+)
 
 // NewUnreliableDatagram wraps a simulated network as a lower service.
 func NewUnreliableDatagram(net *network.Network) *UnreliableDatagram {
-	return &UnreliableDatagram{net: net, attached: make(map[Addr]struct{})}
+	return &UnreliableDatagram{net: net, attached: make(map[Addr]int32)}
 }
 
 // Name implements LowerService.
@@ -92,20 +133,50 @@ func (u *UnreliableDatagram) Attach(addr Addr, r Receiver) error {
 	if r == nil {
 		return fmt.Errorf("protocol: nil receiver for %q", addr)
 	}
+	_, err := u.AttachIndexed(addr, func(src int32, payload []byte) {
+		r(u.net.IDOf(src), payload)
+	})
+	return err
+}
+
+// AttachIndexed implements IndexedLower. The returned id is the network
+// slot of addr's node.
+func (u *UnreliableDatagram) AttachIndexed(addr Addr, r IndexedReceiver) (int32, error) {
+	if r == nil {
+		return -1, fmt.Errorf("protocol: nil receiver for %q", addr)
+	}
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	h := network.Handler(func(src network.NodeID, payload []byte) { r(src, payload) })
-	if _, ok := u.attached[addr]; ok {
-		return u.net.SetHandler(addr, h)
+	h := network.SlotHandler(r)
+	if slot, ok := u.attached[addr]; ok {
+		return slot, u.net.SetSlotHandler(addr, h)
 	}
-	if err := u.net.AddNode(addr, h); err != nil {
+	slot, err := u.net.Register(addr, h)
+	if err != nil {
 		if errors.Is(err, network.ErrDuplicateNode) {
-			return u.net.SetHandler(addr, h)
+			// The node exists but was registered outside this service
+			// (or by a previous wrapper): take its handler over.
+			slot, _ := u.net.SlotOf(addr)
+			u.attached[addr] = slot
+			return slot, u.net.SetSlotHandler(addr, h)
 		}
-		return err
+		return -1, err
 	}
-	u.attached[addr] = struct{}{}
-	return nil
+	u.attached[addr] = slot
+	return slot, nil
+}
+
+// EndpointID implements IndexedLower.
+func (u *UnreliableDatagram) EndpointID(addr Addr) (int32, bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	slot, ok := u.attached[addr]
+	return slot, ok
+}
+
+// EndpointAddr implements IndexedLower.
+func (u *UnreliableDatagram) EndpointAddr(id int32) Addr {
+	return u.net.IDOf(id)
 }
 
 // Send implements LowerService.
@@ -113,10 +184,19 @@ func (u *UnreliableDatagram) Send(src, dst Addr, pdu []byte) error {
 	return u.net.Send(src, dst, pdu)
 }
 
-var _ MultiSender = (*UnreliableDatagram)(nil)
+// SendIndexed implements IndexedLower on the network's slot plane.
+func (u *UnreliableDatagram) SendIndexed(src, dst int32, pdu []byte) error {
+	return u.net.SendSlot(src, dst, pdu)
+}
 
 // SendMulti implements MultiSender on the raw network's batch path: all
 // deliveries of the fan-out are scheduled under one kernel lock.
 func (u *UnreliableDatagram) SendMulti(src Addr, dsts []Addr, pdu []byte) error {
 	return u.net.SendMulti(src, dsts, pdu)
+}
+
+// SendMultiIndexed implements IndexedLower on the network's slot batch
+// path.
+func (u *UnreliableDatagram) SendMultiIndexed(src int32, dsts []int32, pdu []byte) error {
+	return u.net.SendMultiSlot(src, dsts, pdu)
 }

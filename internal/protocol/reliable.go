@@ -55,30 +55,45 @@ func (c *ReliableDatagramConfig) applyDefaults() {
 //	rdp.ack(cum uint64)   — cumulative: all seq < cum received in order
 //
 // Both PDU shapes are schema-compiled and decoded through codec.MsgView,
-// so the per-datagram reliability overhead allocates nothing beyond the
-// retained in-flight copy.
+// and all per-flow state lives in dense tables keyed by interned small-int
+// endpoint ids: the steady-state data path does zero map lookups and the
+// in-flight/hold copies ride pooled buffers. ReliableDatagram implements
+// IndexedLower itself, so layers above can stay on the dense plane.
 type ReliableDatagram struct {
 	kernel *sim.Kernel
 	lower  LowerService
+	ilower IndexedLower // non-nil when lower supports the dense plane
 	cfg    ReliableDatagramConfig
 
-	mu        sync.Mutex
-	receivers map[Addr]Receiver
-	sendFlows map[flowKey]*sendFlow
-	recvFlows map[flowKey]*recvFlow
-	stats     ReliableStats
-	broken    map[flowKey]error
+	mu         sync.Mutex
+	ids        map[Addr]int32 // intern: any address seen (attach, send, receive)
+	eps        []endpoint     // own id → endpoint state
+	lowerToOwn []int32        // lower endpoint id → own id (-1 unknown)
+	sendRows   [][]*sendFlow  // [srcID][dstID] → flow (nil until first send)
+	recvRows   [][]*recvFlow  // [srcID][dstID] → flow (src = data sender)
+	freeSend   *sendFlow
+	freeRecv   *recvFlow
+	stats      ReliableStats
 }
 
-var _ LowerService = (*ReliableDatagram)(nil)
+// endpoint is the per-address state of the dense plane.
+type endpoint struct {
+	addr    Addr
+	recv    Receiver        // legacy receiver (nil unless attached via Attach)
+	recvIdx IndexedReceiver // dense receiver (nil unless attached via AttachIndexed)
+	lowID   int32           // lower service id (-1 until resolved)
+}
+
+var (
+	_ LowerService = (*ReliableDatagram)(nil)
+	_ IndexedLower = (*ReliableDatagram)(nil)
+)
 
 // Compiled PDU schemas (field order is canonical/sorted).
 var (
 	schemaRdpData = codec.CompileSchema("rdp.data", "seq", "payload")
 	schemaRdpAck  = codec.CompileSchema("rdp.ack", "cum")
 )
-
-type flowKey struct{ src, dst Addr }
 
 // ReliableStats counts layer-internal work: experiments use it to report
 // the overhead reliability adds under loss.
@@ -87,7 +102,7 @@ type ReliableStats struct {
 	DataDelivered uint64
 	AcksSent      uint64
 	Retransmits   uint64
-	OutOfOrder    uint64 // received and discarded (go-back-N)
+	OutOfOrder    uint64 // received out of order (held or discarded)
 	Duplicates    uint64
 }
 
@@ -96,32 +111,49 @@ type sendFlow struct {
 	base     uint64 // oldest unacknowledged
 	inFlight []pending
 	timer    *sim.Timer
+	timerFn  func() // built once per flow lifetime; captures the flow ids
 	retries  int
+	broken   error // sticky first failure; checked on every Send
+	free     *sendFlow
 }
 
+// pending is one queued-or-in-flight PDU. The payload rides a pooled
+// buffer released when the cumulative ack passes its sequence number.
 type pending struct {
-	seq     uint64
-	payload []byte
+	seq uint64
+	buf *codec.Buffer
 }
 
+// recvFlow tracks one directed receive flow. Out-of-order PDUs wait in a
+// ring keyed by seq modulo the ring size: conforming senders only emit
+// within Window of the receiver's expectation, so the ring covers every
+// reachable distance without hashing. PDUs beyond the ring's horizon
+// (possible only for non-conforming senders) spill into a lazily
+// allocated overflow map, preserving the exact pre-ring semantics.
 type recvFlow struct {
 	expected uint64
-	// held buffers out-of-order PDUs awaiting the gap to fill.
-	held map[uint64][]byte
+	ring     []heldPDU
+	held     int // ring + overflow occupancy, capped at ReorderBuffer
+	overflow map[uint64]*codec.Buffer
+	free     *recvFlow
+}
+
+type heldPDU struct {
+	seq uint64
+	buf *codec.Buffer // nil = empty slot
 }
 
 // NewReliableDatagram layers reliability over lower, scheduling timers on
 // kernel.
 func NewReliableDatagram(kernel *sim.Kernel, lower LowerService, cfg ReliableDatagramConfig) *ReliableDatagram {
 	cfg.applyDefaults()
+	il, _ := lower.(IndexedLower)
 	return &ReliableDatagram{
-		kernel:    kernel,
-		lower:     lower,
-		cfg:       cfg,
-		receivers: make(map[Addr]Receiver),
-		sendFlows: make(map[flowKey]*sendFlow),
-		recvFlows: make(map[flowKey]*recvFlow),
-		broken:    make(map[flowKey]error),
+		kernel: kernel,
+		lower:  lower,
+		ilower: il,
+		cfg:    cfg,
+		ids:    make(map[Addr]int32),
 	}
 }
 
@@ -135,48 +167,239 @@ func (r *ReliableDatagram) Stats() ReliableStats {
 	return r.stats
 }
 
+// internLocked returns addr's dense id, assigning one on first sight.
+func (r *ReliableDatagram) internLocked(addr Addr) int32 {
+	if id, ok := r.ids[addr]; ok {
+		return id
+	}
+	id := int32(len(r.eps))
+	r.ids[addr] = id
+	r.eps = append(r.eps, endpoint{addr: addr, lowID: -1})
+	r.sendRows = append(r.sendRows, nil)
+	r.recvRows = append(r.recvRows, nil)
+	return id
+}
+
+// ownIDForLower translates a lower-service endpoint id to this layer's
+// id, interning the address on first sight and caching the translation so
+// the steady state never hashes.
+func (r *ReliableDatagram) ownIDForLower(lowSrc int32) int32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for int(lowSrc) >= len(r.lowerToOwn) {
+		r.lowerToOwn = append(r.lowerToOwn, -1)
+	}
+	if own := r.lowerToOwn[lowSrc]; own >= 0 {
+		return own
+	}
+	addr := r.ilower.EndpointAddr(lowSrc)
+	own := r.internLocked(addr)
+	r.lowerToOwn[lowSrc] = own
+	r.eps[own].lowID = lowSrc
+	return own
+}
+
+// lowerIDLocked resolves an endpoint's lower-service id, caching it once
+// found. ok=false means the peer is unknown to the lower service (not
+// attached yet); callers fall back to the name-addressed send.
+func (r *ReliableDatagram) lowerIDLocked(id int32) (int32, bool) {
+	ep := &r.eps[id]
+	if ep.lowID >= 0 {
+		return ep.lowID, true
+	}
+	if r.ilower == nil {
+		return -1, false
+	}
+	low, ok := r.ilower.EndpointID(ep.addr)
+	if !ok {
+		return -1, false
+	}
+	ep.lowID = low
+	for int(low) >= len(r.lowerToOwn) {
+		r.lowerToOwn = append(r.lowerToOwn, -1)
+	}
+	r.lowerToOwn[low] = id
+	return low, true
+}
+
 // Attach implements LowerService.
 func (r *ReliableDatagram) Attach(addr Addr, recv Receiver) error {
 	if recv == nil {
 		return fmt.Errorf("protocol: nil receiver for %q", addr)
 	}
 	r.mu.Lock()
-	r.receivers[addr] = recv
+	id := r.internLocked(addr)
+	r.eps[id].recv = recv
+	r.eps[id].recvIdx = nil
 	r.mu.Unlock()
-	return r.lower.Attach(addr, func(src Addr, pdu []byte) { r.onLower(src, addr, pdu) })
+	return r.attachLower(addr, id)
+}
+
+// AttachIndexed implements IndexedLower: the returned id is this layer's
+// dense endpoint id (receivers are handed peer ids from the same space).
+func (r *ReliableDatagram) AttachIndexed(addr Addr, recv IndexedReceiver) (int32, error) {
+	if recv == nil {
+		return -1, fmt.Errorf("protocol: nil receiver for %q", addr)
+	}
+	r.mu.Lock()
+	id := r.internLocked(addr)
+	r.eps[id].recvIdx = recv
+	r.eps[id].recv = nil
+	r.mu.Unlock()
+	return id, r.attachLower(addr, id)
+}
+
+// attachLower hooks this layer's receive path for addr into the lower
+// service, on the dense plane when available.
+func (r *ReliableDatagram) attachLower(addr Addr, id int32) error {
+	if r.ilower != nil {
+		lowID, err := r.ilower.AttachIndexed(addr, func(lowSrc int32, pdu []byte) {
+			r.onLowerIndexed(lowSrc, id, pdu)
+		})
+		if err != nil {
+			return err
+		}
+		r.mu.Lock()
+		r.eps[id].lowID = lowID
+		for int(lowID) >= len(r.lowerToOwn) {
+			r.lowerToOwn = append(r.lowerToOwn, -1)
+		}
+		r.lowerToOwn[lowID] = id
+		r.mu.Unlock()
+		return nil
+	}
+	return r.lower.Attach(addr, func(src Addr, pdu []byte) { r.onLowerAddr(src, id, pdu) })
+}
+
+// EndpointID implements IndexedLower: only attached addresses resolve.
+func (r *ReliableDatagram) EndpointID(addr Addr) (int32, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.ids[addr]
+	if !ok {
+		return -1, false
+	}
+	ep := &r.eps[id]
+	if ep.recv == nil && ep.recvIdx == nil {
+		return -1, false
+	}
+	return id, true
+}
+
+// EndpointAddr implements IndexedLower.
+func (r *ReliableDatagram) EndpointAddr(id int32) Addr {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id < 0 || int(id) >= len(r.eps) {
+		return ""
+	}
+	return r.eps[id].addr
+}
+
+// sendFlowLocked returns the send flow src→dst, creating (or recycling)
+// it on first use.
+func (r *ReliableDatagram) sendFlowLocked(src, dst int32) *sendFlow {
+	row := r.sendRows[src]
+	if int(dst) >= len(row) {
+		grown := make([]*sendFlow, len(r.eps))
+		copy(grown, row)
+		row = grown
+		r.sendRows[src] = row
+	}
+	f := row[dst]
+	if f == nil {
+		if r.freeSend != nil {
+			f = r.freeSend
+			r.freeSend = f.free
+			*f = sendFlow{inFlight: f.inFlight[:0]}
+		} else {
+			f = &sendFlow{}
+		}
+		f.timerFn = func() { r.onTimeout(src, dst) }
+		row[dst] = f
+	}
+	return f
+}
+
+// recvFlowLocked returns the receive flow src→dst (src is the data
+// sender), creating (or recycling) it on first use.
+func (r *ReliableDatagram) recvFlowLocked(src, dst int32) *recvFlow {
+	row := r.recvRows[src]
+	if int(dst) >= len(row) {
+		grown := make([]*recvFlow, len(r.eps))
+		copy(grown, row)
+		row = grown
+		r.recvRows[src] = row
+	}
+	f := row[dst]
+	if f == nil {
+		if r.freeRecv != nil {
+			f = r.freeRecv
+			r.freeRecv = f.free
+			ring := f.ring
+			*f = recvFlow{ring: ring}
+		} else {
+			f = &recvFlow{}
+		}
+		if r.cfg.ReorderBuffer > 0 && len(f.ring) != r.cfg.Window {
+			f.ring = make([]heldPDU, r.cfg.Window)
+		}
+		row[dst] = f
+	}
+	return f
 }
 
 // Send implements LowerService: payload is queued on the (src,dst) flow
 // and delivered reliably and in order.
 func (r *ReliableDatagram) Send(src, dst Addr, payload []byte) error {
 	r.mu.Lock()
+	srcID := r.internLocked(src)
+	dstID := r.internLocked(dst)
+	r.mu.Unlock()
+	return r.SendIndexed(srcID, dstID, payload)
+}
+
+// SendIndexed implements IndexedLower: the dense-plane Send.
+func (r *ReliableDatagram) SendIndexed(src, dst int32, payload []byte) error {
+	r.mu.Lock()
 	defer r.mu.Unlock()
-	key := flowKey{src, dst}
-	if err := r.broken[key]; err != nil {
-		return err
+	if src < 0 || int(src) >= len(r.eps) || dst < 0 || int(dst) >= len(r.eps) {
+		return fmt.Errorf("protocol: reliable send: id out of range (%d→%d)", src, dst)
 	}
-	f := r.sendFlows[key]
-	if f == nil {
-		f = &sendFlow{}
-		r.sendFlows[key] = f
+	f := r.sendFlowLocked(src, dst)
+	if f.broken != nil {
+		return f.broken
 	}
 	seq := f.next
 	f.next++
-	buf := make([]byte, len(payload))
-	copy(buf, payload)
-	f.inFlight = append(f.inFlight, pending{seq: seq, payload: buf})
+	buf := codec.GetBuffer()
+	buf.B = append(buf.B[:0], payload...)
+	f.inFlight = append(f.inFlight, pending{seq: seq, buf: buf})
 	// Transmit immediately if within window.
 	if seq < f.base+uint64(r.cfg.Window) {
-		r.transmitLocked(key, seq, buf)
+		r.transmitLocked(src, dst, f, seq, buf.B)
 	}
-	r.armTimerLocked(key, f)
+	r.armTimerLocked(f)
 	return nil
+}
+
+// SendMultiIndexed implements IndexedLower as a SendIndexed loop: each
+// destination is an independent reliable flow, so there is no batch to
+// share beyond what the unreliable layer below already batches.
+func (r *ReliableDatagram) SendMultiIndexed(src int32, dsts []int32, payload []byte) error {
+	var firstErr error
+	for _, dst := range dsts {
+		if err := r.SendIndexed(src, dst, payload); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // transmitLocked sends one data PDU, encoded through the compiled schema
 // into a pooled buffer (the lower service copies synchronously, so the
 // buffer is recycled on return). Caller holds r.mu.
-func (r *ReliableDatagram) transmitLocked(key flowKey, seq uint64, payload []byte) {
+func (r *ReliableDatagram) transmitLocked(src, dst int32, f *sendFlow, seq uint64, payload []byte) {
 	buf := codec.GetBuffer()
 	e := schemaRdpData.Encoder(buf.B[:0])
 	e.Bytes("payload", payload)
@@ -187,16 +410,30 @@ func (r *ReliableDatagram) transmitLocked(key flowKey, seq uint64, payload []byt
 		panic(fmt.Sprintf("protocol: encode data PDU: %v", err))
 	}
 	r.stats.DataSent++
-	if err := r.lower.Send(key.src, key.dst, data); err != nil {
-		r.broken[key] = fmt.Errorf("protocol: flow %s→%s: %w", key.src, key.dst, err)
+	if err := r.lowerSendLocked(src, dst, data); err != nil {
+		f.broken = fmt.Errorf("protocol: flow %s→%s: %w", r.eps[src].addr, r.eps[dst].addr, err)
 	}
 	buf.B = data
 	buf.Release()
 }
 
+// lowerSendLocked transmits raw bytes src→dst through the lower service,
+// on the dense plane when both endpoint ids resolve. Caller holds r.mu.
+func (r *ReliableDatagram) lowerSendLocked(src, dst int32, data []byte) error {
+	if r.ilower != nil {
+		ls, ok1 := r.lowerIDLocked(src)
+		if ok1 {
+			if ld, ok2 := r.lowerIDLocked(dst); ok2 {
+				return r.ilower.SendIndexed(ls, ld, data)
+			}
+		}
+	}
+	return r.lower.Send(r.eps[src].addr, r.eps[dst].addr, data)
+}
+
 // armTimerLocked (re)arms the retransmission timer for a flow with unacked
 // data. Caller holds r.mu.
-func (r *ReliableDatagram) armTimerLocked(key flowKey, f *sendFlow) {
+func (r *ReliableDatagram) armTimerLocked(f *sendFlow) {
 	if len(f.inFlight) == 0 {
 		if f.timer != nil {
 			f.timer.Cancel()
@@ -207,20 +444,21 @@ func (r *ReliableDatagram) armTimerLocked(key flowKey, f *sendFlow) {
 	if f.timer != nil && f.timer.Pending() {
 		return
 	}
-	f.timer = r.kernel.Schedule(r.cfg.RetransmitTimeout, func() { r.onTimeout(key) })
+	f.timer = r.kernel.Schedule(r.cfg.RetransmitTimeout, f.timerFn)
 }
 
 // onTimeout retransmits the whole window (go-back-N).
-func (r *ReliableDatagram) onTimeout(key flowKey) {
+func (r *ReliableDatagram) onTimeout(src, dst int32) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	f := r.sendFlows[key]
+	f := r.sendRows[src][dst]
 	if f == nil || len(f.inFlight) == 0 {
 		return
 	}
 	f.retries++
 	if r.cfg.MaxRetransmits > 0 && f.retries > r.cfg.MaxRetransmits {
-		r.broken[key] = fmt.Errorf("protocol: flow %s→%s: retransmit limit %d exceeded", key.src, key.dst, r.cfg.MaxRetransmits)
+		f.broken = fmt.Errorf("protocol: flow %s→%s: retransmit limit %d exceeded",
+			r.eps[src].addr, r.eps[dst].addr, r.cfg.MaxRetransmits)
 		f.timer = nil
 		return
 	}
@@ -230,16 +468,32 @@ func (r *ReliableDatagram) onTimeout(key flowKey) {
 			break
 		}
 		r.stats.Retransmits++
-		r.transmitLocked(key, p.seq, p.payload)
+		r.transmitLocked(src, dst, f, p.seq, p.buf.B)
 	}
 	f.timer = nil
-	r.armTimerLocked(key, f)
+	r.armTimerLocked(f)
 }
 
-// onLower handles a PDU arriving from the lower service at dst. The
-// view decode walks the PDU in place — pdu aliases the network's pooled
-// delivery buffer, so anything retained past this call must be copied.
-func (r *ReliableDatagram) onLower(src, dst Addr, pdu []byte) {
+// onLowerIndexed is the dense-plane receive path: both endpoints arrive
+// as ids, translated through cached tables (no hashing in steady state).
+func (r *ReliableDatagram) onLowerIndexed(lowSrc int32, dst int32, pdu []byte) {
+	r.dispatch(r.ownIDForLower(lowSrc), dst, pdu)
+}
+
+// onLowerAddr is the name-addressed receive fallback for non-indexed
+// lower services.
+func (r *ReliableDatagram) onLowerAddr(src Addr, dst int32, pdu []byte) {
+	r.mu.Lock()
+	srcID := r.internLocked(src)
+	r.mu.Unlock()
+	r.dispatch(srcID, dst, pdu)
+}
+
+// dispatch decodes one arriving PDU and hands it to the data or ack
+// handler. The view decode walks the PDU in place — pdu aliases the
+// network's pooled delivery buffer, so anything retained past this call
+// must be copied.
+func (r *ReliableDatagram) dispatch(src, dst int32, pdu []byte) {
 	v, err := codec.ParseMessage(pdu)
 	if err != nil {
 		return // corrupted frame: drop silently, retransmission recovers
@@ -252,7 +506,7 @@ func (r *ReliableDatagram) onLower(src, dst Addr, pdu []byte) {
 	}
 }
 
-func (r *ReliableDatagram) onData(src, dst Addr, v *codec.MsgView) {
+func (r *ReliableDatagram) onData(src, dst int32, v *codec.MsgView) {
 	seq, ok := v.Uint("seq")
 	if !ok {
 		return
@@ -260,39 +514,25 @@ func (r *ReliableDatagram) onData(src, dst Addr, v *codec.MsgView) {
 	payload, _ := v.Bytes("payload")
 
 	r.mu.Lock()
-	key := flowKey{src, dst} // direction of data flow
-	f := r.recvFlows[key]
-	if f == nil {
-		f = &recvFlow{held: make(map[uint64][]byte)}
-		r.recvFlows[key] = f
-	}
+	f := r.recvFlowLocked(src, dst) // direction of data flow
 	// deliver marks the common case (in-order arrival): the aliased
 	// payload is handed to the receiver synchronously, with no copy and
-	// no ready-slice allocation. Out-of-order payloads are copied before
-	// being held — they outlive this call and the delivery buffer.
+	// no ready-slice allocation. Out-of-order payloads are copied into
+	// pooled buffers before being held — they outlive this call and the
+	// delivery buffer.
 	deliver := false
-	var drained [][]byte
+	var drained []*codec.Buffer
 	switch {
 	case seq == f.expected:
 		f.expected++
 		deliver = true
 		// Drain any buffered successors the gap was hiding.
-		for {
-			next, ok := f.held[f.expected]
-			if !ok {
-				break
-			}
-			delete(f.held, f.expected)
-			f.expected++
-			drained = append(drained, next)
-		}
+		drained = f.drainLocked(drained)
 	case seq < f.expected:
 		r.stats.Duplicates++
 	default:
 		r.stats.OutOfOrder++
-		if _, dup := f.held[seq]; !dup && len(f.held) < r.cfg.ReorderBuffer {
-			f.held[seq] = append([]byte(nil), payload...)
-		}
+		f.holdLocked(seq, payload, r.cfg.ReorderBuffer)
 	}
 	// Cumulative ack of everything in order so far (sent for every data
 	// PDU, so a lost ack is repaired by the next one or a retransmit).
@@ -301,66 +541,225 @@ func (r *ReliableDatagram) onData(src, dst Addr, v *codec.MsgView) {
 	e.Uint("cum", f.expected)
 	data, err := e.Finish()
 	if err != nil {
+		r.mu.Unlock()
 		panic(fmt.Sprintf("protocol: encode ack PDU: %v", err))
 	}
 	r.stats.AcksSent++
 	if deliver {
 		r.stats.DataDelivered += 1 + uint64(len(drained))
 	}
-	recv := r.receivers[dst]
-	r.mu.Unlock()
-
+	ep := &r.eps[dst]
+	recv, recvIdx, srcAddr := ep.recv, ep.recvIdx, r.eps[src].addr
 	// Ack travels dst→src (reverse path). Errors indicate an unregistered
 	// peer, which retransmission cannot fix either; ignore.
-	_ = r.lower.Send(dst, src, data) //nolint:errcheck
+	_ = r.lowerSendLocked(dst, src, data) //nolint:errcheck
+	r.mu.Unlock()
+
 	ackBuf.B = data
 	ackBuf.Release()
-	if recv != nil {
+	if recv != nil || recvIdx != nil {
 		if deliver {
-			recv(src, payload)
+			if recvIdx != nil {
+				recvIdx(src, payload)
+			} else {
+				recv(srcAddr, payload)
+			}
 		}
-		for _, p := range drained {
-			recv(src, p)
+		for _, b := range drained {
+			if recvIdx != nil {
+				recvIdx(src, b.B)
+			} else {
+				recv(srcAddr, b.B)
+			}
 		}
+	}
+	for _, b := range drained {
+		b.Release()
 	}
 }
 
-func (r *ReliableDatagram) onAck(src, dst Addr, v *codec.MsgView) {
+// holdLocked buffers one out-of-order PDU, respecting the ReorderBuffer
+// occupancy cap and duplicate-hold semantics of the original map-based
+// buffer.
+func (f *recvFlow) holdLocked(seq uint64, payload []byte, limit int) {
+	if limit <= 0 {
+		return
+	}
+	ringCap := uint64(len(f.ring))
+	if dist := seq - f.expected; ringCap > 0 && dist <= ringCap {
+		slot := &f.ring[seq%ringCap]
+		if slot.buf != nil {
+			// Occupied: same seq = duplicate hold (drop); a different
+			// seq cannot collide within the window horizon, but a
+			// non-conforming sender could force it — spill over.
+			if slot.seq == seq {
+				return
+			}
+		} else {
+			if f.held >= limit {
+				return
+			}
+			if len(f.overflow) > 0 {
+				// The seq may have been overflow-held while it was
+				// beyond the ring horizon and re-sent now that the
+				// window moved: still a duplicate hold.
+				if _, dup := f.overflow[seq]; dup {
+					return
+				}
+			}
+			b := codec.GetBuffer()
+			b.B = append(b.B[:0], payload...)
+			*slot = heldPDU{seq: seq, buf: b}
+			f.held++
+			return
+		}
+	}
+	// Beyond the ring horizon (or a forced collision): overflow map,
+	// lazily allocated — never touched by conforming traffic.
+	if _, dup := f.overflow[seq]; dup || f.held >= limit {
+		return
+	}
+	if f.overflow == nil {
+		f.overflow = make(map[uint64]*codec.Buffer)
+	}
+	b := codec.GetBuffer()
+	b.B = append(b.B[:0], payload...)
+	f.overflow[seq] = b
+	f.held++
+}
+
+// drainLocked pops consecutively held PDUs starting at f.expected,
+// advancing it past each.
+func (f *recvFlow) drainLocked(drained []*codec.Buffer) []*codec.Buffer {
+	ringCap := uint64(len(f.ring))
+	for f.held > 0 {
+		if ringCap > 0 {
+			slot := &f.ring[f.expected%ringCap]
+			if slot.buf != nil && slot.seq == f.expected {
+				drained = append(drained, slot.buf)
+				*slot = heldPDU{}
+				f.held--
+				f.expected++
+				continue
+			}
+		}
+		if len(f.overflow) > 0 {
+			if b, ok := f.overflow[f.expected]; ok {
+				delete(f.overflow, f.expected)
+				drained = append(drained, b)
+				f.held--
+				f.expected++
+				continue
+			}
+		}
+		break
+	}
+	return drained
+}
+
+func (r *ReliableDatagram) onAck(src, dst int32, v *codec.MsgView) {
 	cum, ok := v.Uint("cum")
 	if !ok {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	// The ack acknowledges data flowing dst→src... the data flow is
-	// (dst→src) from the receiver's perspective; we stored send flows
-	// keyed by (sender, receiver) = (dst of ack delivery, src of ack).
-	key := flowKey{dst, src}
-	f := r.sendFlows[key]
+	// The ack acknowledges data flowing dst→src: send flows are keyed by
+	// (sender, receiver) = (dst of ack delivery, src of ack).
+	row := r.sendRows[dst]
+	if int(src) >= len(row) {
+		return
+	}
+	f := row[src]
 	if f == nil {
 		return
 	}
 	if cum <= f.base {
 		return // stale ack
 	}
-	// Slide the window and transmit newly admitted PDUs.
+	// Slide the window, releasing acknowledged payload buffers, and
+	// transmit newly admitted PDUs. The in-flight slice is compacted in
+	// place so its storage is reused for the flow's lifetime.
 	oldLimit := f.base + uint64(r.cfg.Window)
 	i := 0
 	for i < len(f.inFlight) && f.inFlight[i].seq < cum {
+		f.inFlight[i].buf.Release()
+		f.inFlight[i].buf = nil
 		i++
 	}
-	f.inFlight = f.inFlight[i:]
+	if i > 0 {
+		rem := copy(f.inFlight, f.inFlight[i:])
+		tail := f.inFlight[rem:]
+		for j := range tail {
+			tail[j] = pending{}
+		}
+		f.inFlight = f.inFlight[:rem]
+	}
 	f.base = cum
 	f.retries = 0
 	newLimit := f.base + uint64(r.cfg.Window)
 	for _, p := range f.inFlight {
 		if p.seq >= oldLimit && p.seq < newLimit {
-			r.transmitLocked(key, p.seq, p.payload)
+			r.transmitLocked(dst, src, f, p.seq, p.buf.B)
 		}
 	}
 	if f.timer != nil {
 		f.timer.Cancel()
 		f.timer = nil
 	}
-	r.armTimerLocked(key, f)
+	r.armTimerLocked(f)
+}
+
+// CloseFlow tears down the directed flow pair between local and peer:
+// the send flow local→peer and the receive flow peer→local. Unacked
+// in-flight payloads and held out-of-order PDUs are discarded (their
+// pooled buffers released), the retransmission timer is cancelled, and
+// the flow structs return to a free list for reuse — the reclamation
+// path for long-running deployments that churn through peers. A later
+// Send to the same peer starts a fresh flow at sequence zero (and clears
+// any broken-flow state), exactly as if the pair had never communicated.
+func (r *ReliableDatagram) CloseFlow(local, peer Addr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	localID, ok1 := r.ids[local]
+	peerID, ok2 := r.ids[peer]
+	if !ok1 || !ok2 {
+		return
+	}
+	if row := r.sendRows[localID]; int(peerID) < len(row) {
+		if f := row[peerID]; f != nil {
+			if f.timer != nil {
+				f.timer.Cancel()
+				f.timer = nil
+			}
+			for i := range f.inFlight {
+				f.inFlight[i].buf.Release()
+				f.inFlight[i] = pending{}
+			}
+			f.inFlight = f.inFlight[:0]
+			f.timerFn = nil
+			f.broken = nil
+			f.free = r.freeSend
+			r.freeSend = f
+			row[peerID] = nil
+		}
+	}
+	if row := r.recvRows[peerID]; int(localID) < len(row) {
+		if f := row[localID]; f != nil {
+			for i := range f.ring {
+				if f.ring[i].buf != nil {
+					f.ring[i].buf.Release()
+					f.ring[i] = heldPDU{}
+				}
+			}
+			for seq, b := range f.overflow {
+				b.Release()
+				delete(f.overflow, seq)
+			}
+			f.held = 0
+			f.free = r.freeRecv
+			r.freeRecv = f
+			row[localID] = nil
+		}
+	}
 }

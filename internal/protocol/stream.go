@@ -34,6 +34,10 @@ type Stream struct {
 // successive segments of the byte sequence from src.
 type StreamReceiver func(src Addr, segment []byte)
 
+// flowKey identifies a directed endpoint pair in the stream/framing
+// reassembly tables.
+type flowKey struct{ src, dst Addr }
+
 // StreamConfig tunes the stream layer.
 type StreamConfig struct {
 	// ChunkSize bounds the octets carried per underlying datagram.

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/metrics"
 )
@@ -122,11 +123,23 @@ func (r *SweepReport) CSV() ([]byte, error) {
 // String renders the report as an aligned table of the metric columns,
 // one row per scenario, followed by the text artifacts of scenarios that
 // carry no metrics (figure regenerations) — scenarios with metrics are
-// already fully represented by their table row.
-func (r *SweepReport) String() string {
+// already fully represented by their table row. String never includes
+// wall-clock quantities, preserving byte-identical rendering across
+// worker counts; TableString(true) is the human-facing variant with a
+// per-scenario wall-time column.
+func (r *SweepReport) String() string { return r.TableString(false) }
+
+// TableString renders the report table, optionally with a per-scenario
+// wall-time column (showWall). Wall times vary run to run, so the
+// showWall rendering is for interactive consumption only and is never
+// part of determinism comparisons.
+func (r *SweepReport) TableString(showWall bool) string {
 	params, mets := r.paramKeys(), r.metricKeys()
 	headers := append([]string{"scenario", "seed"}, params...)
 	headers = append(headers, mets...)
+	if showWall {
+		headers = append(headers, "wall")
+	}
 	headers = append(headers, "err")
 	table := metrics.NewTable(
 		fmt.Sprintf("sweep report — %d scenarios, base seed %d", len(r.Scenarios), r.BaseSeed),
@@ -144,6 +157,9 @@ func (r *SweepReport) String() string {
 				continue
 			}
 			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if showWall {
+			row = append(row, time.Duration(s.WallNanos).Round(10*time.Microsecond).String())
 		}
 		row = append(row, s.Err)
 		table.AddRow(row...)

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Scenario is one deterministic unit of sweep work.
@@ -59,6 +60,11 @@ type ScenarioResult struct {
 	// Err is the scenario's failure, empty on success. Kept as a string so
 	// the report stays serializable and byte-comparable.
 	Err string `json:"err,omitempty"`
+	// WallNanos is the scenario's wall-clock execution time. It is
+	// excluded from every byte-compared rendering (JSON, CSV, String) so
+	// reports stay deterministic; TableString(true) renders it for
+	// humans watching sweep cost (cmd/sweep table output).
+	WallNanos int64 `json:"-"`
 }
 
 // Sweep executes the scenario matrix and returns the aggregated report in
@@ -117,7 +123,9 @@ func Sweep(scenarios []Scenario, opts Options) (*SweepReport, error) {
 // failure so one bad scenario cannot take the whole sweep down.
 func runOne(sc Scenario, baseSeed int64) (res ScenarioResult) {
 	res = ScenarioResult{ID: sc.ID, Seed: DeriveSeed(baseSeed, sc.ID), Params: sc.Params}
+	start := time.Now()
 	defer func() {
+		res.WallNanos = time.Since(start).Nanoseconds()
 		if p := recover(); p != nil {
 			res.Err = fmt.Sprintf("panic: %v", p)
 		}

@@ -234,3 +234,59 @@ func TestTotalMetric(t *testing.T) {
 		t.Fatalf("TotalMetric(absent) = %v, want 0", got)
 	}
 }
+
+// TestLargeClientBand pins the shape of the large-deployment band (the
+// CI smoke runs the same matrix through cmd/sweep) and that one of its
+// heaviest scenarios actually executes.
+func TestLargeClientBand(t *testing.T) {
+	m := LargeClientBand()
+	if got := m.Size(); got != 60 {
+		t.Fatalf("LargeClientBand expands to %d scenarios, want 60 (10 solutions × {64,128,256} × loss {0,1%%})", got)
+	}
+	scenarios := m.Scenarios()
+	if len(scenarios) != 60 {
+		t.Fatalf("Scenarios() expands to %d, want 60", len(scenarios))
+	}
+	// Run the largest lossless scenario of one solution end to end.
+	for _, sc := range scenarios {
+		if sc.Params["solution"] == "proto-callback" && sc.Params["subscribers"] == "256" && sc.Params["loss"] == "0" {
+			out, err := sc.Run(DeriveSeed(42, sc.ID))
+			if err != nil {
+				t.Fatalf("run %s: %v", sc.ID, err)
+			}
+			if out.Metrics["completed"] != out.Metrics["expected"] || out.Metrics["completed"] == 0 {
+				t.Fatalf("scenario %s incomplete: %v", sc.ID, out.Metrics)
+			}
+			return
+		}
+	}
+	t.Fatal("expected proto-callback/256/loss=0 scenario not found in band")
+}
+
+// TestWallTimeOnlyInTableString pins that wall time is recorded per
+// scenario but never leaks into the byte-compared renderings.
+func TestWallTimeOnlyInTableString(t *testing.T) {
+	sc := Scenario{ID: "w", Run: func(seed int64) (Outcome, error) {
+		return Outcome{Metrics: map[string]float64{"m": 1}}, nil
+	}}
+	rep, err := Sweep([]Scenario{sc}, Options{Workers: 1, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenarios[0].WallNanos <= 0 {
+		t.Fatal("scenario wall time not recorded")
+	}
+	j, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(j), "Wall") || strings.Contains(string(j), "wall") {
+		t.Fatalf("wall time leaked into JSON: %s", j)
+	}
+	if got := rep.String(); strings.Contains(got, "wall") {
+		t.Fatalf("wall column in the deterministic table rendering:\n%s", got)
+	}
+	if got := rep.TableString(true); !strings.Contains(got, "wall") {
+		t.Fatalf("wall column missing from TableString(true):\n%s", got)
+	}
+}

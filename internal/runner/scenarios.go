@@ -96,6 +96,20 @@ func (m Matrix) Scenarios() []Scenario {
 	return out
 }
 
+// LargeClientBand is the large-deployment scenario band the dense
+// routing/demux plane makes affordable: every solution at client counts
+// {64, 128, 256}, lossless and at 1% loss, with a reduced cycle count so
+// the 60-scenario band stays a few seconds of wall time. It complements
+// the default sweep matrix (clients {2, 8, 32}), extending coverage into
+// the fan-out regime where per-message table-walk costs dominate.
+func LargeClientBand() Matrix {
+	return Matrix{
+		Subscribers: []int{64, 128, 256},
+		LossRates:   []float64{0, 0.01},
+		Cycles:      4,
+	}
+}
+
 // WorkloadScenario wraps one floor-control workload configuration into a
 // sweep scenario. The sweep-derived seed overrides cfg.Seed, so equal
 // configurations under equal base seeds reproduce exactly.
