@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-smoke bench-kernel bench-codec bench-path bench-baseline bench-baseline-codec bench-baseline-path bench-regression sweep sweep-large profile fig fuzz cover fmt vet check clean
+.PHONY: all build test bench bench-smoke bench-kernel bench-codec bench-path bench-svc bench-baseline bench-baseline-codec bench-baseline-path bench-baseline-svc bench-regression sweep sweep-large profile fig fuzz cover fmt vet check clean
 
 all: check
 
@@ -30,6 +30,11 @@ bench-codec:
 bench-path:
 	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/delivery
 
+# The service-port façade overhead suite (typed port call vs raw
+# platform invoke) at the CI gate's repetition count.
+bench-svc:
+	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/svc
+
 # Refresh the committed kernel benchmark baseline (commit the result).
 bench-baseline:
 	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/sim | \
@@ -47,6 +52,12 @@ bench-baseline-path:
 		$(GO) run ./cmd/benchcmp -record -out BENCH_path.json \
 			-note "Refresh with: make bench-baseline-path (see README, Performance & CI gates)."
 
+# Refresh the committed service-port benchmark baseline (commit the result).
+bench-baseline-svc:
+	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/svc | \
+		$(GO) run ./cmd/benchcmp -record -out BENCH_svc.json \
+			-note "Refresh with: make bench-baseline-svc (see README, Performance & CI gates)."
+
 # The CI bench-regression gates, locally.
 bench-regression:
 	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/sim | \
@@ -55,6 +66,8 @@ bench-regression:
 		$(GO) run ./cmd/benchcmp -baseline BENCH_codec.json -threshold 1.20 -normalize Calibrate
 	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/delivery | \
 		$(GO) run ./cmd/benchcmp -baseline BENCH_path.json -threshold 1.20 -normalize Calibrate
+	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/svc | \
+		$(GO) run ./cmd/benchcmp -baseline BENCH_svc.json -threshold 1.20 -normalize Calibrate
 
 # The CI fuzz job, locally (bounded).
 fuzz:

@@ -1,5 +1,8 @@
 // Command floorctl runs one floor-control solution under a configurable
 // workload and reports its measured footprint and conformance verdict.
+// Middleware solutions execute against typed service ports
+// (internal/svc); protocol solutions against the core.Provider service
+// boundary — the same workload driver exercises both.
 //
 // Usage:
 //

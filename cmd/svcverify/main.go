@@ -1,6 +1,8 @@
 // Command svcverify performs the formal assessment the paper calls for:
-// it executes a floor-control solution, checks the run online against the
-// service constraints, and checks the recorded trace offline against the
+// it executes a floor-control solution (middleware solutions run over
+// typed internal/svc service ports, protocol solutions over the
+// core.Provider boundary), checks the run online against the service
+// constraints, and checks the recorded trace offline against the
 // generated service LTS (trace refinement).
 //
 // Usage:

@@ -3,7 +3,8 @@
 // method as the paper's floor-control example: a service definition with
 // a custom application-defined constraint, a sequencer protocol behind the
 // service boundary, and (with -platform) the same logic deployed through
-// the MDA trajectory onto a concrete middleware platform.
+// the MDA trajectory onto a concrete middleware platform (where every
+// interaction rides the typed service ports of internal/svc).
 //
 //	go run ./examples/chat
 //	go run ./examples/chat -participants 5 -loss 0.2

@@ -1,6 +1,7 @@
 // Paradigms: the paper's §4–§5 comparison as a runnable program. All six
-// floor-control solutions — middleware-centred (Figure 4) and
-// protocol-centred (Figure 6) — execute under an identical workload; the
+// floor-control solutions — middleware-centred (Figure 4, programming
+// against typed internal/svc service ports) and protocol-centred
+// (Figure 6) — execute under an identical workload; the
 // program reports their measured footprint, the scattering of interaction
 // functionality (Figure 7), and the conformance verdict for each.
 //

@@ -1,5 +1,7 @@
 // Quickstart: run one floor-control solution and check it against the
-// service definition — the smallest end-to-end use of the library.
+// service definition — the smallest end-to-end use of the library. Every
+// solution programs against the service concept: protocol solutions via
+// core.Provider, middleware solutions via typed internal/svc ports.
 //
 //	go run ./examples/quickstart
 package main

@@ -3,7 +3,8 @@
 // is realized on four concrete platforms — directly where the platform
 // conforms to the abstract-platform definition, recursively (Figure 12)
 // where it does not — and every resulting PSI is executed and verified
-// against the same service definition.
+// against the same service definition. Each deployment interacts with
+// its platform exclusively through typed internal/svc ports.
 //
 //	go run ./examples/trajectory
 package main

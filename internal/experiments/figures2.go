@@ -13,6 +13,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/protocol"
 	"repro/internal/sim"
+	"repro/internal/svc"
 )
 
 // Fig2ProtocolParadigm reproduces Figure 2: user parts over protocol
@@ -83,37 +84,83 @@ func Fig2ProtocolParadigm(seed int64) (*Report, error) {
 
 // Fig3MiddlewareParadigm reproduces Figure 3: components interacting
 // through the interaction patterns a middleware platform offers, one row
-// per pattern.
+// per pattern — all of them driven through typed svc ports, the
+// application-facing face of the platform.
 func Fig3MiddlewareParadigm(seed int64) (*Report, error) {
 	kernel := sim.NewKernel(sim.WithSeed(seed))
 	net := network.New(kernel, network.WithDefaultLink(network.LinkConfig{Latency: time.Millisecond}))
 	transport := protocol.NewReliableDatagram(kernel, protocol.NewUnreliableDatagram(net), protocol.ReliableDatagramConfig{})
 	platform := middleware.New(kernel, transport, middleware.ProfileCORBALike, "broker")
 
-	echo := middleware.ObjectFunc(func(op string, args codec.Record, reply middleware.Reply) {
-		reply(args, nil)
+	service, err := svc.New(&core.ServiceSpec{
+		Name:        "fig3-patterns",
+		Description: "one operation per middleware interaction pattern",
+		Primitives: []core.PrimitiveDef{
+			{Name: "echo", Direction: core.FromUser, Params: []core.ParamDef{{Name: "i", Kind: core.KindInt}}},
+			{Name: "put", Direction: core.FromUser, Params: []core.ParamDef{{Name: "i", Kind: core.KindInt}}},
+			{Name: "flash", Direction: core.ToUser},
+		},
 	})
-	if err := platform.Register("server", "node-s", echo); err != nil {
+	if err != nil {
 		return nil, err
 	}
+	b, err := service.Bind(platform,
+		middleware.PatternRPC, middleware.PatternOneway, middleware.PatternPubSub)
+	if err != nil {
+		return nil, err
+	}
+
+	// The server component: a typed export echoing its argument record.
+	identity := func(r codec.Record) codec.Record { return r }
+	e, err := b.NewExport("server", "node-s")
+	if err != nil {
+		return nil, err
+	}
+	err = svc.HandleOp(e, "echo", nil, identity,
+		func(req codec.Record, respond func(codec.Record, error)) { respond(req, nil) })
+	if err != nil {
+		return nil, err
+	}
+	err = svc.HandleOp(e, "put", nil, identity,
+		func(req codec.Record, respond func(codec.Record, error)) { respond(req, nil) })
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Register(); err != nil {
+		return nil, err
+	}
+
 	rpcDone, onewayDone, eventsDone := 0, 0, 0
-	if err := platform.SubscribeTopic("news", "node-a", func(codec.Message) { eventsDone++ }); err != nil {
+	for _, node := range []middleware.Addr{"node-a", "node-b"} {
+		if _, err := svc.NewTopicSource(b, "news", node,
+			func(codec.MsgView) (struct{}, error) { return struct{}{}, nil },
+			func(struct{}) { eventsDone++ }); err != nil {
+			return nil, err
+		}
+	}
+	echoPort, err := svc.NewPort(b, "server", "echo", identity, func(r codec.Record) (codec.Record, error) { return r, nil })
+	if err != nil {
 		return nil, err
 	}
-	if err := platform.SubscribeTopic("news", "node-b", func(codec.Message) { eventsDone++ }); err != nil {
+	putSink, err := svc.NewOnewaySink(b, "server", "put", identity)
+	if err != nil {
+		return nil, err
+	}
+	newsSink, err := svc.NewTopicSink(b, "news", func(struct{}) codec.Message { return codec.NewMessage("flash", nil) })
+	if err != nil {
 		return nil, err
 	}
 	const rounds = 5
 	for i := 0; i < rounds; i++ {
-		if err := platform.Invoke("node-c", "server", "echo", codec.Record{"i": int64(i)},
+		if err := echoPort.Call("node-c", codec.Record{"i": int64(i)},
 			func(codec.Record, error) { rpcDone++ }); err != nil {
 			return nil, err
 		}
-		if err := platform.InvokeOneway("node-c", "server", "put", codec.Record{"i": int64(i)}); err != nil {
+		if err := putSink.Send("node-c", codec.Record{"i": int64(i)}); err != nil {
 			return nil, err
 		}
 		onewayDone++
-		if err := platform.Publish("node-c", "news", codec.NewMessage("flash", nil)); err != nil {
+		if err := newsSink.Send("node-c", struct{}{}); err != nil {
 			return nil, err
 		}
 	}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sync"
 
-	"repro/internal/codec"
 	"repro/internal/middleware"
+	"repro/internal/svc"
 )
 
 // MWCallback is the callback-based middleware solution of Figure 4(a):
@@ -19,7 +19,8 @@ import (
 // Interaction functionality resident in application parts (Figure 7): the
 // subscriber part must expose a grant callback interface and invoke
 // request_permission/free; the controller is itself an application part
-// centralizing the coordination.
+// centralizing the coordination. All of it programs against typed svc
+// ports — the raw platform surface never appears in the solution.
 type MWCallback struct{}
 
 var _ Solution = (*MWCallback)(nil)
@@ -46,77 +47,103 @@ func (*MWCallback) Scattering(n int) Scattering {
 
 // Build implements Solution.
 func (s *MWCallback) Build(env *Env) (map[string]AppPart, error) {
-	if err := requireRPCPlatform(env, s.Name()); err != nil {
+	b, err := bindService(env, s.Name())
+	if err != nil {
 		return nil, err
 	}
-	ctrl := &callbackController{env: env, q: newResourceQueue(env.Resources)}
-	if err := env.Platform.Register("controller", ctrlNode, ctrl); err != nil {
+	ctrl := &callbackController{env: env, q: newResourceQueue(env.Resources),
+		grants: make(map[string]*svc.Port[grantArgs, ack], len(env.Subscribers))}
+	if err := ctrl.export(b); err != nil {
 		return nil, fmt.Errorf("floorcontrol: register controller: %w", err)
+	}
+	// The controller-facing ports carry the caller's node per call, so one
+	// shared port per operation serves every subscriber part; only the
+	// grant callback ports differ per subscriber (distinct targets).
+	request, err := svc.NewPort[ctrlArgs, ack](b, "controller", "request_permission", encCtrlArgs, nil)
+	if err != nil {
+		return nil, err
+	}
+	free, err := svc.NewPort[ctrlArgs, ack](b, "controller", "free", encCtrlArgs, nil)
+	if err != nil {
+		return nil, err
 	}
 	parts := make(map[string]AppPart, len(env.Subscribers))
 	for _, sub := range env.Subscribers {
-		part := &mwCallbackPart{env: env, sub: sub, pending: make(map[string]func())}
-		if err := env.Platform.Register(subObjRef(sub), middleware.Addr(sub), part.component()); err != nil {
+		part := &mwCallbackPart{env: env, sub: sub, pending: make(map[string]func()),
+			request: request, free: free}
+		if err := part.export(b); err != nil {
 			return nil, fmt.Errorf("floorcontrol: register subscriber %q: %w", sub, err)
+		}
+		if ctrl.grants[sub], err = svc.NewPort[grantArgs, ack](b, subObjRef(sub), "grant", encGrantArgs, nil); err != nil {
+			return nil, err
 		}
 		parts[sub] = part
 	}
 	return parts, nil
 }
 
-// callbackController is the singleton controller component.
+// callbackController is the singleton controller component, exported as
+// typed request_permission/free operations; it grants through one typed
+// callback port per subscriber.
 type callbackController struct {
-	env *Env
+	env    *Env
+	grants map[string]*svc.Port[grantArgs, ack]
 
 	mu sync.Mutex
 	q  *resourceQueue
 }
 
-var _ middleware.Object = (*callbackController)(nil)
+// export hosts the controller's typed operations at ctrlNode.
+func (c *callbackController) export(b *svc.Binding) error {
+	e, err := b.NewExport("controller", ctrlNode)
+	if err != nil {
+		return err
+	}
+	if err := svc.HandleOp(e, "request_permission", decCtrlArgs, encAck, c.requestPermission); err != nil {
+		return err
+	}
+	if err := svc.HandleOp(e, "free", decCtrlArgs, encAck, c.free); err != nil {
+		return err
+	}
+	return e.Register()
+}
 
-// Dispatch implements middleware.Object.
-func (c *callbackController) Dispatch(op string, args codec.Record, reply middleware.Reply) {
-	sub, _ := args["subid"].(string)
-	res, _ := args[ParamResource].(string)
-	switch op {
-	case "request_permission":
-		c.mu.Lock()
-		if !c.q.known(res) {
-			c.mu.Unlock()
-			reply(nil, fmt.Errorf("unknown resource %q", res))
-			return
-		}
-		granted := c.q.tryAcquire(sub, res)
-		if !granted {
-			c.q.enqueue(sub, res)
-		}
+func (c *callbackController) requestPermission(a ctrlArgs, respond func(ack, error)) {
+	c.mu.Lock()
+	if !c.q.known(a.Res) {
 		c.mu.Unlock()
-		reply(codec.Record{}, nil) // intention registered
-		if granted {
-			c.grant(sub, res)
-		}
-	case "free":
-		c.mu.Lock()
-		next, ok, err := c.q.release(sub, res)
-		c.mu.Unlock()
-		if err != nil {
-			reply(nil, err)
-			return
-		}
-		reply(codec.Record{}, nil)
-		if ok {
-			c.grant(next, res)
-		}
-	default:
-		reply(nil, fmt.Errorf("%w: %q", middleware.ErrUnknownOperation, op))
+		respond(ack{}, fmt.Errorf("unknown resource %q", a.Res))
+		return
+	}
+	granted := c.q.tryAcquire(a.Sub, a.Res)
+	if !granted {
+		c.q.enqueue(a.Sub, a.Res)
+	}
+	c.mu.Unlock()
+	respond(ack{}, nil) // intention registered
+	if granted {
+		c.grant(a.Sub, a.Res)
+	}
+}
+
+func (c *callbackController) free(a ctrlArgs, respond func(ack, error)) {
+	c.mu.Lock()
+	next, ok, err := c.q.release(a.Sub, a.Res)
+	c.mu.Unlock()
+	if err != nil {
+		respond(ack{}, err)
+		return
+	}
+	respond(ack{}, nil)
+	if ok {
+		c.grant(next, a.Res)
 	}
 }
 
 // grant invokes the grant operation of the subscriber's callback
-// interface.
+// interface through the typed port.
 func (c *callbackController) grant(sub, res string) {
-	err := c.env.Platform.Invoke(ctrlNode, subObjRef(sub), "grant",
-		codec.Record{ParamResource: res}, nil)
+	err := c.grants[sub].Call(ctrlNode, grantArgs{Res: res}, nil)
 	if err != nil {
 		// Unknown subscriber object: deployment error surfaced in tests.
 		panic(fmt.Sprintf("floorcontrol: grant to %q: %v", sub, err))
@@ -124,11 +151,13 @@ func (c *callbackController) grant(sub, res string) {
 }
 
 // mwCallbackPart is one subscriber's application part. The grant callback
-// interface it must expose, and the invocations it must issue, are the
+// interface it must expose, and the ports it must invoke, are the
 // interaction functionality the paradigm scatters into it.
 type mwCallbackPart struct {
-	env *Env
-	sub string
+	env     *Env
+	sub     string
+	request *svc.Port[ctrlArgs, ack]
+	free    *svc.Port[ctrlArgs, ack]
 
 	mu      sync.Mutex
 	pending map[string]func() // resource → completion
@@ -136,24 +165,28 @@ type mwCallbackPart struct {
 
 var _ AppPart = (*mwCallbackPart)(nil)
 
-// component returns the part's middleware-facing callback interface.
-func (p *mwCallbackPart) component() middleware.Object {
-	return middleware.ObjectFunc(func(op string, args codec.Record, reply middleware.Reply) {
-		if op != "grant" {
-			reply(nil, fmt.Errorf("%w: %q", middleware.ErrUnknownOperation, op))
-			return
-		}
-		res, _ := args[ParamResource].(string)
-		p.mu.Lock()
-		done := p.pending[res]
-		delete(p.pending, res)
-		p.mu.Unlock()
-		reply(codec.Record{}, nil)
-		p.env.observe(p.sub, PrimGranted, res)
-		if done != nil {
-			done()
-		}
-	})
+// export hosts the part's grant callback interface.
+func (p *mwCallbackPart) export(b *svc.Binding) error {
+	e, err := b.NewExport(subObjRef(p.sub), middleware.Addr(p.sub))
+	if err != nil {
+		return err
+	}
+	if err := svc.HandleOp(e, "grant", decGrantArgs, encAck, p.onGrant); err != nil {
+		return err
+	}
+	return e.Register()
+}
+
+func (p *mwCallbackPart) onGrant(a grantArgs, respond func(ack, error)) {
+	p.mu.Lock()
+	done := p.pending[a.Res]
+	delete(p.pending, a.Res)
+	p.mu.Unlock()
+	respond(ack{}, nil)
+	p.env.observe(p.sub, PrimGranted, a.Res)
+	if done != nil {
+		done()
+	}
 }
 
 // Acquire implements AppPart.
@@ -162,8 +195,7 @@ func (p *mwCallbackPart) Acquire(res string, done func()) {
 	p.mu.Lock()
 	p.pending[res] = done
 	p.mu.Unlock()
-	err := p.env.Platform.Invoke(middleware.Addr(p.sub), "controller", "request_permission",
-		codec.Record{"subid": p.sub, ParamResource: res}, nil)
+	err := p.request.Call(middleware.Addr(p.sub), ctrlArgs{Sub: p.sub, Res: res}, nil)
 	if err != nil {
 		panic(fmt.Sprintf("floorcontrol: request_permission from %q: %v", p.sub, err))
 	}
@@ -172,8 +204,7 @@ func (p *mwCallbackPart) Acquire(res string, done func()) {
 // Release implements AppPart.
 func (p *mwCallbackPart) Release(res string) {
 	p.env.observe(p.sub, PrimFree, res)
-	err := p.env.Platform.Invoke(middleware.Addr(p.sub), "controller", "free",
-		codec.Record{"subid": p.sub, ParamResource: res}, nil)
+	err := p.free.Call(middleware.Addr(p.sub), ctrlArgs{Sub: p.sub, Res: res}, nil)
 	if err != nil {
 		panic(fmt.Sprintf("floorcontrol: free from %q: %v", p.sub, err))
 	}

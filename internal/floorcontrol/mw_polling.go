@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/middleware"
+	"repro/internal/svc"
 )
 
 // MWPolling is the polling-based middleware solution of Figure 4(b): "the
@@ -22,7 +23,8 @@ import (
 // This is the solution §5 criticizes most directly: "the subscriber
 // application parts must continuously poll for a resource, in contrast
 // with the protocol solution (b), where ... the service is responsible for
-// 'polling'." The polling loop lives *inside the application part* here.
+// 'polling'." The polling loop lives *inside the application part* here,
+// driving a typed is_available port.
 type MWPolling struct{}
 
 var _ Solution = (*MWPolling)(nil)
@@ -46,18 +48,43 @@ func (*MWPolling) Scattering(n int) Scattering {
 	return Scattering{AppPartOps: 4 * n, ControllerOps: 2}
 }
 
+// availReply is the typed reply of the is_available probe.
+type availReply struct {
+	Available bool
+}
+
+func encAvailReply(a availReply) codec.Record {
+	return codec.Record{"available": a.Available}
+}
+
+func decAvailReply(r codec.Record) (availReply, error) {
+	avail, _ := r["available"].(bool)
+	return availReply{Available: avail}, nil
+}
+
 // Build implements Solution.
 func (s *MWPolling) Build(env *Env) (map[string]AppPart, error) {
-	if err := requireRPCPlatform(env, s.Name()); err != nil {
+	b, err := bindService(env, s.Name())
+	if err != nil {
 		return nil, err
 	}
 	ctrl := &pollingController{q: newResourceQueue(env.Resources)}
-	if err := env.Platform.Register("controller", ctrlNode, ctrl); err != nil {
+	if err := ctrl.export(b); err != nil {
 		return nil, fmt.Errorf("floorcontrol: register controller: %w", err)
+	}
+	// One shared port per controller operation: Call carries the polling
+	// subscriber's node, so the parts need no private ports.
+	isAvailable, err := svc.NewPort(b, "controller", "is_available", encCtrlArgs, decAvailReply)
+	if err != nil {
+		return nil, err
+	}
+	free, err := svc.NewPort[ctrlArgs, ack](b, "controller", "free", encCtrlArgs, nil)
+	if err != nil {
+		return nil, err
 	}
 	parts := make(map[string]AppPart, len(env.Subscribers))
 	for _, sub := range env.Subscribers {
-		parts[sub] = &mwPollingPart{env: env, sub: sub}
+		parts[sub] = &mwPollingPart{env: env, sub: sub, isAvailable: isAvailable, free: free}
 	}
 	return parts, nil
 }
@@ -70,42 +97,51 @@ type pollingController struct {
 	q  *resourceQueue
 }
 
-var _ middleware.Object = (*pollingController)(nil)
-
-// Dispatch implements middleware.Object.
-func (c *pollingController) Dispatch(op string, args codec.Record, reply middleware.Reply) {
-	sub, _ := args["subid"].(string)
-	res, _ := args[ParamResource].(string)
-	switch op {
-	case "is_available":
-		c.mu.Lock()
-		if !c.q.known(res) {
-			c.mu.Unlock()
-			reply(nil, fmt.Errorf("unknown resource %q", res))
-			return
-		}
-		got := c.q.tryAcquire(sub, res)
-		c.mu.Unlock()
-		reply(codec.Record{"available": got}, nil)
-	case "free":
-		c.mu.Lock()
-		_, _, err := c.q.release(sub, res)
-		c.mu.Unlock()
-		if err != nil {
-			reply(nil, err)
-			return
-		}
-		reply(codec.Record{}, nil)
-	default:
-		reply(nil, fmt.Errorf("%w: %q", middleware.ErrUnknownOperation, op))
+// export hosts the controller's typed operations at ctrlNode.
+func (c *pollingController) export(b *svc.Binding) error {
+	e, err := b.NewExport("controller", ctrlNode)
+	if err != nil {
+		return err
 	}
+	if err := svc.HandleOp(e, "is_available", decCtrlArgs, encAvailReply, c.isAvailable); err != nil {
+		return err
+	}
+	if err := svc.HandleOp(e, "free", decCtrlArgs, encAck, c.free); err != nil {
+		return err
+	}
+	return e.Register()
+}
+
+func (c *pollingController) isAvailable(a ctrlArgs, respond func(availReply, error)) {
+	c.mu.Lock()
+	if !c.q.known(a.Res) {
+		c.mu.Unlock()
+		respond(availReply{}, fmt.Errorf("unknown resource %q", a.Res))
+		return
+	}
+	got := c.q.tryAcquire(a.Sub, a.Res)
+	c.mu.Unlock()
+	respond(availReply{Available: got}, nil)
+}
+
+func (c *pollingController) free(a ctrlArgs, respond func(ack, error)) {
+	c.mu.Lock()
+	_, _, err := c.q.release(a.Sub, a.Res)
+	c.mu.Unlock()
+	if err != nil {
+		respond(ack{}, err)
+		return
+	}
+	respond(ack{}, nil)
 }
 
 // mwPollingPart is one subscriber's application part, with the polling
 // loop inside it.
 type mwPollingPart struct {
-	env *Env
-	sub string
+	env         *Env
+	sub         string
+	isAvailable *svc.Port[ctrlArgs, availReply]
+	free        *svc.Port[ctrlArgs, ack]
 }
 
 var _ AppPart = (*mwPollingPart)(nil)
@@ -117,13 +153,12 @@ func (p *mwPollingPart) Acquire(res string, done func()) {
 }
 
 func (p *mwPollingPart) poll(res string, done func()) {
-	err := p.env.Platform.Invoke(middleware.Addr(p.sub), "controller", "is_available",
-		codec.Record{"subid": p.sub, ParamResource: res},
-		func(result codec.Record, err error) {
+	err := p.isAvailable.Call(middleware.Addr(p.sub), ctrlArgs{Sub: p.sub, Res: res},
+		func(result availReply, err error) {
 			if err != nil {
 				panic(fmt.Sprintf("floorcontrol: is_available from %q: %v", p.sub, err))
 			}
-			if avail, _ := result["available"].(bool); avail {
+			if result.Available {
 				p.env.observe(p.sub, PrimGranted, res)
 				done()
 				return
@@ -138,8 +173,7 @@ func (p *mwPollingPart) poll(res string, done func()) {
 // Release implements AppPart.
 func (p *mwPollingPart) Release(res string) {
 	p.env.observe(p.sub, PrimFree, res)
-	err := p.env.Platform.Invoke(middleware.Addr(p.sub), "controller", "free",
-		codec.Record{"subid": p.sub, ParamResource: res}, nil)
+	err := p.free.Call(middleware.Addr(p.sub), ctrlArgs{Sub: p.sub, Res: res}, nil)
 	if err != nil {
 		panic(fmt.Sprintf("floorcontrol: free from %q: %v", p.sub, err))
 	}

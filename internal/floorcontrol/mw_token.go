@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/middleware"
+	"repro/internal/svc"
 )
 
 // MWToken is the token-based (symmetric) middleware solution of Figure
@@ -17,9 +18,10 @@ import (
 // identifier to be released in the list." The subscriber set is known a
 // priori (no ring management, per the paper's simplification).
 //
-// Every subscriber part implements pass(set<ResourceId>) and the token
-// manipulation — the interaction functionality is scattered across all
-// application parts.
+// Every subscriber part exposes a typed pass(set<ResourceId>) operation
+// and drives a pass port to its ring successor — the token manipulation
+// is the interaction functionality scattered across all application
+// parts.
 type MWToken struct{}
 
 var _ Solution = (*MWToken)(nil)
@@ -43,10 +45,28 @@ func (*MWToken) Scattering(n int) Scattering {
 	return Scattering{AppPartOps: 3 * n}
 }
 
+// tokenArgs is the typed circulating token: the availability list.
+type tokenArgs struct {
+	Available []string
+}
+
+func encTokenArgs(t tokenArgs) codec.Record {
+	return codec.Record{"available": codec.StringList(t.Available)}
+}
+
+func decTokenArgs(r codec.Record) (tokenArgs, error) {
+	avail, err := codec.ToStringSlice(r["available"])
+	if err != nil {
+		return tokenArgs{}, fmt.Errorf("malformed token: %w", err)
+	}
+	return tokenArgs{Available: avail}, nil
+}
+
 // Build implements Solution. The token starts at the first subscriber
 // carrying every resource.
 func (s *MWToken) Build(env *Env) (map[string]AppPart, error) {
-	if err := requireRPCPlatform(env, s.Name()); err != nil {
+	b, err := bindService(env, s.Name())
+	if err != nil {
 		return nil, err
 	}
 	if len(env.Subscribers) == 0 {
@@ -55,13 +75,20 @@ func (s *MWToken) Build(env *Env) (map[string]AppPart, error) {
 	parts := make(map[string]AppPart, len(env.Subscribers))
 	ring := make([]*mwTokenPart, len(env.Subscribers))
 	for i, sub := range env.Subscribers {
-		next := env.Subscribers[(i+1)%len(env.Subscribers)]
-		part := &mwTokenPart{env: env, sub: sub, next: next}
-		if err := env.Platform.Register(subObjRef(sub), middleware.Addr(sub), part.component()); err != nil {
+		part := &mwTokenPart{env: env, sub: sub}
+		if err := part.export(b); err != nil {
 			return nil, fmt.Errorf("floorcontrol: register subscriber %q: %w", sub, err)
 		}
 		parts[sub] = part
 		ring[i] = part
+	}
+	// The pass ports close the ring once every object is registered.
+	for i, part := range ring {
+		next := env.Subscribers[(i+1)%len(env.Subscribers)]
+		if part.pass, err = svc.NewPort[tokenArgs, ack](b, subObjRef(next), "pass", encTokenArgs, nil); err != nil {
+			return nil, err
+		}
+		part.next = next
 	}
 	// Inject the initial token at the first subscriber.
 	initial := append([]string(nil), env.Resources...)
@@ -75,6 +102,7 @@ type mwTokenPart struct {
 	env  *Env
 	sub  string
 	next string
+	pass *svc.Port[tokenArgs, ack]
 
 	mu        sync.Mutex
 	wantRes   string
@@ -84,22 +112,22 @@ type mwTokenPart struct {
 
 var _ AppPart = (*mwTokenPart)(nil)
 
-// component exposes the pass operation to the previous subscriber in the
+// export exposes the pass operation to the previous subscriber in the
 // ring.
-func (p *mwTokenPart) component() middleware.Object {
-	return middleware.ObjectFunc(func(op string, args codec.Record, reply middleware.Reply) {
-		if op != "pass" {
-			reply(nil, fmt.Errorf("%w: %q", middleware.ErrUnknownOperation, op))
-			return
-		}
-		avail, err := codec.ToStringSlice(args["available"])
-		if err != nil {
-			reply(nil, fmt.Errorf("malformed token: %w", err))
-			return
-		}
-		reply(codec.Record{}, nil)
-		p.onToken(avail)
-	})
+func (p *mwTokenPart) export(b *svc.Binding) error {
+	e, err := b.NewExport(subObjRef(p.sub), middleware.Addr(p.sub))
+	if err != nil {
+		return err
+	}
+	if err := svc.HandleOp(e, "pass", decTokenArgs, encAck, p.onPass); err != nil {
+		return err
+	}
+	return e.Register()
+}
+
+func (p *mwTokenPart) onPass(t tokenArgs, respond func(ack, error)) {
+	respond(ack{}, nil)
+	p.onToken(t.Available)
 }
 
 // onToken examines the circulating availability list, takes a wanted
@@ -130,8 +158,7 @@ func (p *mwTokenPart) onToken(avail []string) {
 	}
 	forward := append([]string(nil), avail...)
 	p.env.Kernel.Schedule(p.env.TokenHopDelay, func() {
-		err := p.env.Platform.Invoke(middleware.Addr(p.sub), subObjRef(p.next), "pass",
-			codec.Record{"available": codec.StringList(forward)}, nil)
+		err := p.pass.Call(middleware.Addr(p.sub), tokenArgs{Available: forward}, nil)
 		if err != nil {
 			panic(fmt.Sprintf("floorcontrol: pass from %q to %q: %v", p.sub, p.next, err))
 		}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/protocol"
 	"repro/internal/sim"
+	"repro/internal/svc"
 )
 
 // Paradigm identifies which of the paper's two design paradigms a solution
@@ -129,19 +130,25 @@ func SolutionByName(name string) (Solution, bool) {
 // ctrlNode is the hosting node of asymmetric-solution controllers.
 const ctrlNode = "ctrl"
 
-// requireRPCPlatform verifies the substrate of a middleware solution: a
-// platform whose profile supports remote invocation, the paper's §4.1
-// assumption ("we assume a component middleware that supports remote
-// invocation").
-func requireRPCPlatform(env *Env, solution string) error {
+// bindService declares the floor-control service over the env's
+// middleware platform and returns the typed-port binding every
+// middleware solution programs against. The bind profile-checks the
+// paper's §4.1 assumption ("we assume a component middleware that
+// supports remote invocation"): a profile without RPC fails with
+// svc.ErrUnsupportedPattern.
+func bindService(env *Env, solution string) (*svc.Binding, error) {
 	if env.Platform == nil {
-		return fmt.Errorf("floorcontrol: %s requires a middleware platform", solution)
+		return nil, fmt.Errorf("floorcontrol: %s requires a middleware platform", solution)
 	}
-	if !env.Platform.Profile().Supports(middleware.PatternRPC) {
-		return fmt.Errorf("floorcontrol: %s requires remote invocation, which profile %q does not offer: %w",
-			solution, env.Platform.Profile().Name, middleware.ErrPatternUnsupported)
+	service, err := svc.New(Spec())
+	if err != nil {
+		return nil, fmt.Errorf("floorcontrol: %s: %w", solution, err)
 	}
-	return nil
+	b, err := service.Bind(env.Platform, middleware.PatternRPC)
+	if err != nil {
+		return nil, fmt.Errorf("floorcontrol: %s requires remote invocation: %w", solution, err)
+	}
+	return b, nil
 }
 
 // subObjRef names a subscriber's component object on the middleware
@@ -149,6 +156,44 @@ func requireRPCPlatform(env *Env, solution string) error {
 func subObjRef(sub string) middleware.ObjRef {
 	return middleware.ObjRef("sub:" + sub)
 }
+
+// ctrlArgs is the typed request of the asymmetric controller operations
+// (request_permission, is_available, free): the subscriber identity plus
+// the resource identification every floor-control primitive carries.
+type ctrlArgs struct {
+	Sub string
+	Res string
+}
+
+func encCtrlArgs(a ctrlArgs) codec.Record {
+	return codec.Record{"subid": a.Sub, ParamResource: a.Res}
+}
+
+func decCtrlArgs(r codec.Record) (ctrlArgs, error) {
+	sub, _ := r["subid"].(string)
+	res, _ := r[ParamResource].(string)
+	return ctrlArgs{Sub: sub, Res: res}, nil
+}
+
+// grantArgs is the typed payload of the controller→subscriber grant
+// callback.
+type grantArgs struct {
+	Res string
+}
+
+func encGrantArgs(a grantArgs) codec.Record {
+	return codec.Record{ParamResource: a.Res}
+}
+
+func decGrantArgs(r codec.Record) (grantArgs, error) {
+	res, _ := r[ParamResource].(string)
+	return grantArgs{Res: res}, nil
+}
+
+// ack is the empty acknowledgement reply of void operations.
+type ack struct{}
+
+func encAck(ack) codec.Record { return codec.Record{} }
 
 // resourceQueue is the controller-side bookkeeping shared by the two
 // asymmetric coordination styles: current holder and FIFO waiters, per

@@ -11,6 +11,7 @@ import (
 	"repro/internal/middleware"
 	"repro/internal/protocol"
 	"repro/internal/sim"
+	"repro/internal/svc"
 )
 
 // ComponentID identifies one instance of platform-independent service
@@ -79,10 +80,13 @@ type messaging interface {
 }
 
 // Deployment is a running PSI: the PIM's logic instantiated on a concrete
-// platform. Its service boundary is a core.Provider.
+// platform. Its service boundary is a core.Provider. All middleware
+// interactions of the deployed logic flow through the typed svc port
+// binding — the raw platform surface stays an SPI underneath.
 type Deployment struct {
 	kernel      *sim.Kernel
 	platform    *middleware.Platform
+	ports       *svc.Binding
 	realization Realization
 	logic       *Logic
 	messaging   messaging
@@ -168,9 +172,18 @@ func Deploy(kernel *sim.Kernel, transport protocol.LowerService, pim *PIM, targe
 		return nil, err
 	}
 	platform := middleware.New(kernel, transport, target.Profile, "mda-broker")
+	service, err := svc.New(pim.Service)
+	if err != nil {
+		return nil, fmt.Errorf("mda: declare service %q: %w", pim.Service.Name, err)
+	}
+	binding, err := service.Bind(platform)
+	if err != nil {
+		return nil, fmt.Errorf("mda: bind service %q: %w", pim.Service.Name, err)
+	}
 	d := &Deployment{
 		kernel:      kernel,
 		platform:    platform,
+		ports:       binding,
 		realization: realization,
 		logic:       logic,
 		sapOf:       make(map[ComponentID]core.SAP, len(logic.SAPBinding)),
@@ -216,17 +229,40 @@ func validateLogic(logic *Logic, plan Plan) error {
 
 // installMessaging selects and wires the async-message realization matching
 // the concrete platform — the deployed form of the realization's adapters.
+// Receive endpoints are installed first, then the typed send endpoints
+// (sinks or ports) are built once per target component.
 func (d *Deployment) installMessaging(target ConcretePlatform) error {
 	switch {
 	case target.Profile.Supports(middleware.PatternOneway):
-		d.messaging = &onewayMessaging{d: d}
-		return d.registerObjects()
+		if err := d.registerObjects(); err != nil {
+			return err
+		}
+		m, err := newOnewayMessaging(d)
+		if err != nil {
+			return err
+		}
+		d.messaging = m
+		return nil
 	case target.Profile.Supports(middleware.PatternRPC):
-		d.messaging = &syncMessaging{d: d}
-		return d.registerObjects()
+		if err := d.registerObjects(); err != nil {
+			return err
+		}
+		m, err := newSyncMessaging(d)
+		if err != nil {
+			return err
+		}
+		d.messaging = m
+		return nil
 	case target.Profile.Supports(middleware.PatternQueue):
-		d.messaging = &queueMessaging{d: d}
-		return d.subscribeQueues()
+		if err := d.subscribeQueues(); err != nil {
+			return err
+		}
+		m, err := newQueueMessaging(d)
+		if err != nil {
+			return err
+		}
+		d.messaging = m
+		return nil
 	default:
 		return fmt.Errorf("%w: platform %q offers no usable pattern", ErrUnrealizable, target.Name)
 	}
@@ -238,42 +274,81 @@ func objRef(id ComponentID) middleware.ObjRef { return middleware.ObjRef("logic:
 // queueName names a component's inbound queue in the queue realization.
 func queueName(id ComponentID) string { return "mda.q." + string(id) }
 
-// registerObjects hosts each component as a middleware object exposing
-// the generic deliver operation.
+// wireEnvelope is the typed wire form of an abstract directed message:
+// the sending component, the message name, and the payload record.
+type wireEnvelope struct {
+	From   ComponentID
+	Name   string
+	Fields codec.Record
+}
+
+// encEnvelope marshals the envelope into the deliver operation's
+// parameter record (nil payloads travel as empty records, as the legacy
+// envelope did).
+func encEnvelope(e wireEnvelope) codec.Record {
+	fields := e.Fields
+	if fields == nil {
+		fields = codec.Record{}
+	}
+	return codec.Record{"from": string(e.From), "name": e.Name, "fields": fields}
+}
+
+// decEnvelope unmarshals a deliver parameter record.
+func decEnvelope(r codec.Record) (wireEnvelope, error) {
+	from, _ := r["from"].(string)
+	name, _ := r["name"].(string)
+	fields, _ := r["fields"].(map[string]codec.Value)
+	return wireEnvelope{From: ComponentID(from), Name: name, Fields: fields}, nil
+}
+
+// encQueueEnvelope marshals the envelope as the mda.msg queue message of
+// the async-over-queue adapter.
+func encQueueEnvelope(e wireEnvelope) codec.Message {
+	return codec.NewMessage("mda.msg", encEnvelope(e))
+}
+
+// decQueueEnvelope unmarshals one queued mda.msg.
+func decQueueEnvelope(m codec.Message) (wireEnvelope, error) {
+	return decEnvelope(m.Fields)
+}
+
+// registerObjects hosts each component as a typed export exposing the
+// generic deliver operation.
 func (d *Deployment) registerObjects() error {
 	for id := range d.logic.Components {
 		id := id
-		obj := middleware.ObjectFunc(func(op string, args codec.Record, reply middleware.Reply) {
-			if op != "deliver" {
-				reply(nil, fmt.Errorf("%w: %q", middleware.ErrUnknownOperation, op))
-				return
-			}
-			reply(codec.Record{}, nil)
-			from, _ := args["from"].(string)
-			name, _ := args["name"].(string)
-			fields, _ := args["fields"].(map[string]codec.Value)
-			d.onDelivered(id, ComponentID(from), codec.NewMessage(name, fields))
-		})
-		if err := d.platform.Register(objRef(id), d.logic.Placement[id], obj); err != nil {
+		e, err := d.ports.NewExport(objRef(id), d.logic.Placement[id])
+		if err != nil {
+			return fmt.Errorf("mda: register %q: %w", id, err)
+		}
+		err = svc.HandleOp(e, "deliver", decEnvelope, func(struct{}) codec.Record { return codec.Record{} },
+			func(env wireEnvelope, respond func(struct{}, error)) {
+				respond(struct{}{}, nil)
+				d.onDelivered(id, env.From, codec.NewMessage(env.Name, env.Fields))
+			})
+		if err != nil {
+			return fmt.Errorf("mda: register %q: %w", id, err)
+		}
+		if err := e.Register(); err != nil {
 			return fmt.Errorf("mda: register %q: %w", id, err)
 		}
 	}
 	return nil
 }
 
-// subscribeQueues declares and consumes one queue per component.
+// subscribeQueues declares and consumes one queue per component through
+// typed queue sources.
 func (d *Deployment) subscribeQueues() error {
 	for id := range d.logic.Components {
 		id := id
-		if err := d.platform.QueueDeclare(queueName(id)); err != nil {
+		if err := d.ports.DeclareQueue(queueName(id)); err != nil {
 			return fmt.Errorf("mda: declare queue for %q: %w", id, err)
 		}
-		err := d.platform.QueueSubscribe(queueName(id), d.logic.Placement[id], func(m codec.Message) {
-			from, _ := m.Fields["from"].(string)
-			name, _ := m.Fields["name"].(string)
-			fields, _ := m.Fields["fields"].(map[string]codec.Value)
-			d.onDelivered(id, ComponentID(from), codec.NewMessage(name, fields))
-		})
+		_, err := svc.NewQueueSource(d.ports, queueName(id), d.logic.Placement[id],
+			decQueueEnvelope,
+			func(env wireEnvelope) {
+				d.onDelivered(id, env.From, codec.NewMessage(env.Name, env.Fields))
+			})
 		if err != nil {
 			return fmt.Errorf("mda: subscribe queue for %q: %w", id, err)
 		}
@@ -281,60 +356,118 @@ func (d *Deployment) subscribeQueues() error {
 	return nil
 }
 
-// envelope wraps an abstract message for the wire.
-func envelope(from ComponentID, msg codec.Message) codec.Record {
-	fields := msg.Fields
-	if fields == nil {
-		fields = codec.Record{}
+// sendNode resolves the hosting node of a sending component.
+func (d *Deployment) sendNode(from ComponentID) (middleware.Addr, error) {
+	node, ok := d.logic.Placement[from]
+	if !ok {
+		return "", fmt.Errorf("mda: unplaced sender %q", from)
 	}
-	return codec.Record{"from": string(from), "name": msg.Name, "fields": fields}
+	return node, nil
 }
 
 // onewayMessaging realizes async-message natively (CORBA-like oneway,
-// JMS-like message passing).
-type onewayMessaging struct{ d *Deployment }
+// JMS-like message passing): one typed oneway sink per target component.
+type onewayMessaging struct {
+	d     *Deployment
+	sinks map[ComponentID]*svc.Sink[wireEnvelope]
+}
 
 var _ messaging = (*onewayMessaging)(nil)
+
+func newOnewayMessaging(d *Deployment) (*onewayMessaging, error) {
+	m := &onewayMessaging{d: d, sinks: make(map[ComponentID]*svc.Sink[wireEnvelope], len(d.logic.Components))}
+	for id := range d.logic.Components {
+		sink, err := svc.NewOnewaySink(d.ports, objRef(id), "deliver", encEnvelope)
+		if err != nil {
+			return nil, fmt.Errorf("mda: oneway sink for %q: %w", id, err)
+		}
+		m.sinks[id] = sink
+	}
+	return m, nil
+}
 
 func (m *onewayMessaging) name() string { return "native-oneway" }
 
 func (m *onewayMessaging) send(from, to ComponentID, msg codec.Message) error {
-	node, ok := m.d.logic.Placement[from]
-	if !ok {
-		return fmt.Errorf("mda: unplaced sender %q", from)
+	node, err := m.d.sendNode(from)
+	if err != nil {
+		return err
 	}
-	return m.d.platform.InvokeOneway(node, objRef(to), "deliver", envelope(from, msg))
+	sink, ok := m.sinks[to]
+	if !ok {
+		return fmt.Errorf("mda: unknown target %q", to)
+	}
+	return sink.Send(node, wireEnvelope{From: from, Name: msg.Name, Fields: msg.Fields})
 }
 
 // syncMessaging is the async-over-sync adapter (Figure 12 recursion on the
 // RMI-like platform): the directed message is a synchronous void
-// invocation whose reply is discarded.
-type syncMessaging struct{ d *Deployment }
+// invocation whose reply is discarded — one typed RPC port per target.
+type syncMessaging struct {
+	d     *Deployment
+	ports map[ComponentID]*svc.Port[wireEnvelope, struct{}]
+}
 
 var _ messaging = (*syncMessaging)(nil)
+
+func newSyncMessaging(d *Deployment) (*syncMessaging, error) {
+	m := &syncMessaging{d: d, ports: make(map[ComponentID]*svc.Port[wireEnvelope, struct{}], len(d.logic.Components))}
+	for id := range d.logic.Components {
+		port, err := svc.NewPort[wireEnvelope, struct{}](d.ports, objRef(id), "deliver", encEnvelope, nil)
+		if err != nil {
+			return nil, fmt.Errorf("mda: sync port for %q: %w", id, err)
+		}
+		m.ports[id] = port
+	}
+	return m, nil
+}
 
 func (m *syncMessaging) name() string { return "async-over-sync" }
 
 func (m *syncMessaging) send(from, to ComponentID, msg codec.Message) error {
-	node, ok := m.d.logic.Placement[from]
-	if !ok {
-		return fmt.Errorf("mda: unplaced sender %q", from)
+	node, err := m.d.sendNode(from)
+	if err != nil {
+		return err
 	}
-	return m.d.platform.Invoke(node, objRef(to), "deliver", envelope(from, msg), nil)
+	port, ok := m.ports[to]
+	if !ok {
+		return fmt.Errorf("mda: unknown target %q", to)
+	}
+	return port.Call(node, wireEnvelope{From: from, Name: msg.Name, Fields: msg.Fields}, nil)
 }
 
 // queueMessaging is the async-over-queue adapter (Figure 12 recursion on
-// the MQ-like platform): one inbound queue per component.
-type queueMessaging struct{ d *Deployment }
+// the MQ-like platform): one inbound queue per component, fed through
+// typed queue sinks.
+type queueMessaging struct {
+	d     *Deployment
+	sinks map[ComponentID]*svc.Sink[wireEnvelope]
+}
 
 var _ messaging = (*queueMessaging)(nil)
+
+func newQueueMessaging(d *Deployment) (*queueMessaging, error) {
+	m := &queueMessaging{d: d, sinks: make(map[ComponentID]*svc.Sink[wireEnvelope], len(d.logic.Components))}
+	for id := range d.logic.Components {
+		sink, err := svc.NewQueueSink(d.ports, queueName(id), encQueueEnvelope)
+		if err != nil {
+			return nil, fmt.Errorf("mda: queue sink for %q: %w", id, err)
+		}
+		m.sinks[id] = sink
+	}
+	return m, nil
+}
 
 func (m *queueMessaging) name() string { return "async-over-queue" }
 
 func (m *queueMessaging) send(from, to ComponentID, msg codec.Message) error {
-	node, ok := m.d.logic.Placement[from]
-	if !ok {
-		return fmt.Errorf("mda: unplaced sender %q", from)
+	node, err := m.d.sendNode(from)
+	if err != nil {
+		return err
 	}
-	return m.d.platform.QueuePut(node, queueName(to), codec.NewMessage("mda.msg", envelope(from, msg)))
+	sink, ok := m.sinks[to]
+	if !ok {
+		return fmt.Errorf("mda: unknown target %q", to)
+	}
+	return sink.Send(node, wireEnvelope{From: from, Name: msg.Name, Fields: msg.Fields})
 }

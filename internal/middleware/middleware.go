@@ -19,6 +19,17 @@
 // dense plane (protocol.IndexedLower) the whole steady-state wire path —
 // receive demux, broker fan-out, reply routing — runs on slot-indexed
 // tables with no map lookups and no allocations.
+//
+// # SPI, not API
+//
+// The Platform's raw interaction methods (Invoke, InvokeOneway,
+// QueuePut, Publish, Register, Subscribe*) are the *service-provider
+// interface* of the middleware plane. Applications — the case studies,
+// the examples, the MDA engine — program against the typed service-port
+// façade in internal/svc, which binds a core.ServiceSpec to a Platform
+// and exposes Port/Sink/Source/Export endpoints over these methods.
+// Only internal/svc, this package's tests, and the delivery-path
+// benchmarks call the raw surface directly.
 package middleware
 
 import (

@@ -110,8 +110,8 @@ type sendFlow struct {
 	next     uint64 // next sequence number to assign
 	base     uint64 // oldest unacknowledged
 	inFlight []pending
-	timer    *sim.Timer
-	timerFn  func() // built once per flow lifetime; captures the flow ids
+	timer    sim.TimerRef // retransmit timer; zero ref = disarmed
+	timerFn  func()       // built once per flow lifetime; captures the flow ids
 	retries  int
 	broken   error // sticky first failure; checked on every Send
 	free     *sendFlow
@@ -432,19 +432,20 @@ func (r *ReliableDatagram) lowerSendLocked(src, dst int32, data []byte) error {
 }
 
 // armTimerLocked (re)arms the retransmission timer for a flow with unacked
-// data. Caller holds r.mu.
+// data. The timer rides the kernel's free-list ScheduleFuncRef path: arms
+// and cancels recycle the same Timer structs, so steady-state window
+// traffic schedules retransmission cover without allocating. Caller holds
+// r.mu.
 func (r *ReliableDatagram) armTimerLocked(f *sendFlow) {
 	if len(f.inFlight) == 0 {
-		if f.timer != nil {
-			f.timer.Cancel()
-			f.timer = nil
-		}
+		f.timer.Cancel()
+		f.timer = sim.TimerRef{}
 		return
 	}
-	if f.timer != nil && f.timer.Pending() {
+	if f.timer.Pending() {
 		return
 	}
-	f.timer = r.kernel.Schedule(r.cfg.RetransmitTimeout, f.timerFn)
+	f.timer = r.kernel.ScheduleFuncRef(r.cfg.RetransmitTimeout, f.timerFn)
 }
 
 // onTimeout retransmits the whole window (go-back-N).
@@ -459,7 +460,7 @@ func (r *ReliableDatagram) onTimeout(src, dst int32) {
 	if r.cfg.MaxRetransmits > 0 && f.retries > r.cfg.MaxRetransmits {
 		f.broken = fmt.Errorf("protocol: flow %s→%s: retransmit limit %d exceeded",
 			r.eps[src].addr, r.eps[dst].addr, r.cfg.MaxRetransmits)
-		f.timer = nil
+		f.timer = sim.TimerRef{}
 		return
 	}
 	limit := f.base + uint64(r.cfg.Window)
@@ -470,7 +471,7 @@ func (r *ReliableDatagram) onTimeout(src, dst int32) {
 		r.stats.Retransmits++
 		r.transmitLocked(src, dst, f, p.seq, p.buf.B)
 	}
-	f.timer = nil
+	f.timer = sim.TimerRef{}
 	r.armTimerLocked(f)
 }
 
@@ -703,10 +704,8 @@ func (r *ReliableDatagram) onAck(src, dst int32, v *codec.MsgView) {
 			r.transmitLocked(dst, src, f, p.seq, p.buf.B)
 		}
 	}
-	if f.timer != nil {
-		f.timer.Cancel()
-		f.timer = nil
-	}
+	f.timer.Cancel()
+	f.timer = sim.TimerRef{}
 	r.armTimerLocked(f)
 }
 
@@ -728,10 +727,8 @@ func (r *ReliableDatagram) CloseFlow(local, peer Addr) {
 	}
 	if row := r.sendRows[localID]; int(peerID) < len(row) {
 		if f := row[peerID]; f != nil {
-			if f.timer != nil {
-				f.timer.Cancel()
-				f.timer = nil
-			}
+			f.timer.Cancel()
+			f.timer = sim.TimerRef{}
 			for i := range f.inFlight {
 				f.inFlight[i].buf.Release()
 				f.inFlight[i] = pending{}

@@ -125,6 +125,68 @@ func (t *Timer) Pending() bool {
 	return t.state.Load() != stateDone
 }
 
+// TimerRef is a lightweight, recyclable handle to a fire-and-forget
+// timer, created by Kernel.ScheduleFuncRef. Unlike *Timer handles from
+// Schedule, a TimerRef does not pin the underlying Timer struct: the
+// kernel recycles it through the free list as soon as the event fires or
+// is cancelled, and the ref validates itself against the timer's unique
+// sequence number — a stale ref (whose timer has been recycled into a
+// later event) is simply inert. That makes TimerRef the right handle for
+// hot paths that arm and cancel timers per message (e.g. retransmission
+// timers) without allocating a Timer per arm.
+//
+// The zero TimerRef is valid and inert: Cancel and Pending return false.
+type TimerRef struct {
+	t   *Timer
+	seq uint64
+}
+
+// Cancel removes the referenced timer from the schedule, reporting
+// whether it was still pending. Cancelling a fired, already-cancelled or
+// recycled timer is a safe no-op returning false.
+func (r TimerRef) Cancel() bool {
+	t := r.t
+	if t == nil || t.kernel == nil {
+		return false
+	}
+	k := t.kernel
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if t.seq != r.seq {
+		return false // recycled into a later event: stale ref
+	}
+	switch t.state.Load() {
+	case statePending:
+		k.queue.remove(int(t.index))
+		t.state.Store(stateDone)
+		t.fn = nil
+		// Unlike an escaped *Timer handle, the ref self-invalidates via
+		// the seq check, so a cancelled timer can go straight back to the
+		// free list — this is what keeps arm/cancel loops allocation-free.
+		k.free = append(k.free, t)
+		return true
+	case stateRunnable:
+		if t.state.CompareAndSwap(stateRunnable, stateDone) {
+			t.fn = nil
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// Pending reports whether the referenced timer is still scheduled.
+func (r TimerRef) Pending() bool {
+	t := r.t
+	if t == nil || t.kernel == nil {
+		return false
+	}
+	t.kernel.mu.Lock()
+	defer t.kernel.mu.Unlock()
+	return t.seq == r.seq && t.state.Load() != stateDone
+}
+
 // BatchEntry describes one fire-and-forget event for ScheduleBatch. A
 // negative Delay is treated as zero.
 type BatchEntry struct {
@@ -227,6 +289,22 @@ func (k *Kernel) ScheduleFunc(delay time.Duration, fn func()) {
 	k.mu.Lock()
 	k.scheduleLocked(k.now+delay, fn, false)
 	k.mu.Unlock()
+}
+
+// ScheduleFuncRef is ScheduleFunc with a cancellable TimerRef: the timer
+// still recycles through the free list (scheduling stays allocation-free
+// at steady state), and the returned ref self-invalidates once the event
+// fires, is cancelled, or the struct is recycled. Use it where a hot
+// path needs Schedule's cancellation without its per-call Timer
+// allocation.
+func (k *Kernel) ScheduleFuncRef(delay time.Duration, fn func()) TimerRef {
+	if delay < 0 {
+		delay = 0
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	t := k.scheduleLocked(k.now+delay, fn, false)
+	return TimerRef{t: t, seq: t.seq}
 }
 
 // ScheduleBatch schedules every entry under a single lock acquisition, in

@@ -507,3 +507,100 @@ func BenchmarkScheduleRun(b *testing.B) {
 		}
 	}
 }
+
+func TestScheduleFuncRefCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	ref := k.ScheduleFuncRef(time.Second, func() { fired = true })
+	if !ref.Pending() {
+		t.Fatal("ref should be pending")
+	}
+	if !ref.Cancel() {
+		t.Fatal("Cancel should report true for pending ref")
+	}
+	if ref.Cancel() {
+		t.Fatal("second Cancel should report false")
+	}
+	if ref.Pending() {
+		t.Fatal("cancelled ref should not be pending")
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("cancelled ref fired")
+	}
+}
+
+func TestTimerRefZeroValueInert(t *testing.T) {
+	var ref TimerRef
+	if ref.Cancel() {
+		t.Fatal("zero ref Cancel should be false")
+	}
+	if ref.Pending() {
+		t.Fatal("zero ref Pending should be false")
+	}
+}
+
+// TestTimerRefStaleAfterRecycle pins the aliasing guarantee: once a
+// fire-and-forget timer fires and its struct is recycled into a later
+// event, a retained ref to the earlier event must be inert — it must not
+// cancel (or report pending for) the recycled timer.
+func TestTimerRefStaleAfterRecycle(t *testing.T) {
+	k := NewKernel()
+	ref := k.ScheduleFuncRef(0, func() {})
+	if _, err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ref.Cancel() {
+		t.Fatal("Cancel after fire should report false")
+	}
+	// Burn through the free list until the original struct is reused.
+	fired := 0
+	for i := 0; i < 16; i++ {
+		k.ScheduleFuncRef(0, func() { fired++ })
+	}
+	if ref.Cancel() || ref.Pending() {
+		t.Fatal("stale ref must stay inert after its timer is recycled")
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 16 {
+		t.Fatalf("stale ref cancelled a recycled timer: fired %d of 16", fired)
+	}
+}
+
+// TestScheduleFuncRefRecycles verifies the ref path still rides the free
+// list: an arm/fire/re-arm loop must not allocate at steady state.
+func TestScheduleFuncRefRecycles(t *testing.T) {
+	k := NewKernel()
+	allocs := testing.AllocsPerRun(1000, func() {
+		ref := k.ScheduleFuncRef(0, func() {})
+		_ = ref
+		k.Step()
+	})
+	if allocs > 0 {
+		t.Fatalf("ScheduleFuncRef+Step allocated %.1f per op, want 0", allocs)
+	}
+}
+
+// TestScheduleFuncRefCancelInBatch cancels a same-instant ref from an
+// earlier event of the same batch (the stateRunnable CAS path).
+func TestScheduleFuncRefCancelInBatch(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	var ref TimerRef
+	k.ScheduleFunc(time.Millisecond, func() {
+		if !ref.Cancel() {
+			t.Error("in-batch Cancel should report true")
+		}
+	})
+	ref = k.ScheduleFuncRef(time.Millisecond, func() { fired = true })
+	if _, err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("ref cancelled within its own batch still fired")
+	}
+}

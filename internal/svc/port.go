@@ -1,0 +1,424 @@
+package svc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/codec"
+	"repro/internal/middleware"
+	"repro/internal/sim"
+)
+
+// Port is a typed request/response service port: the RPC pattern with a
+// typed request/response pair, sim-time deadlines and the svc error
+// taxonomy. A port is bound to one (target, operation) pair; calls are
+// asynchronous in virtual time — the continuation runs when the reply
+// arrives, the deadline expires, or the call fails.
+//
+// Per-call bookkeeping (the reply adapter and the deadline timer) is
+// recycled through a free list, so a steady-state Call adds no heap
+// allocations over the raw platform invoke underneath it.
+type Port[Req, Resp any] struct {
+	b      *Binding
+	target middleware.ObjRef
+	op     string
+	enc    func(Req) codec.Record
+	dec    func(codec.Record) (Resp, error)
+	cfg    portConfig
+
+	// Call-state pool: a single-slot atomic fast path (sequential calls
+	// never touch the mutex) over a mutex-guarded overflow list for
+	// concurrent outstanding calls.
+	slot atomic.Pointer[callState[Req, Resp]]
+	mu   sync.Mutex
+	free *callState[Req, Resp]
+}
+
+// callState is one outstanding call's pooled bookkeeping. The reply and
+// deadline closures are built once per pooled object (they capture only
+// the state itself), so re-used states schedule nothing new.
+type callState[Req, Resp any] struct {
+	p        *Port[Req, Resp]
+	cont     func(Resp, error)
+	timer    sim.TimerRef // deadline timer; zero ref = no deadline armed
+	deadline bool         // a deadline was armed for this call
+	fired    bool         // continuation already delivered
+
+	onReply    func(codec.Record, error) // = s.reply, built once
+	onDeadline func()                    // = s.deadline, built once
+	next       *callState[Req, Resp]
+}
+
+// NewPort creates a typed RPC port on the binding. enc marshals the
+// request into the operation's parameter record (the same record shape a
+// raw Platform.Invoke caller would pass); dec unmarshals the reply
+// record. dec may be nil for ports whose replies carry no payload (the
+// zero Resp is delivered). The profile must offer the RPC pattern.
+func NewPort[Req, Resp any](b *Binding, target middleware.ObjRef, op string,
+	enc func(Req) codec.Record, dec func(codec.Record) (Resp, error),
+	opts ...PortOption) (*Port[Req, Resp], error) {
+	if err := b.supports(middleware.PatternRPC); err != nil {
+		return nil, err
+	}
+	if enc == nil {
+		return nil, fmt.Errorf("svc: port %s.%s: nil request encoder", target, op)
+	}
+	cfg, err := b.applyOptions(op, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Port[Req, Resp]{b: b, target: target, op: op, enc: enc, dec: dec, cfg: cfg}, nil
+}
+
+// Target returns the port's target object reference.
+func (p *Port[Req, Resp]) Target() middleware.ObjRef { return p.target }
+
+// Op returns the port's wire operation name.
+func (p *Port[Req, Resp]) Op() string { return p.op }
+
+// getState pops (or creates) a pooled call state: the single slot first,
+// the overflow list second, a fresh allocation last.
+func (p *Port[Req, Resp]) getState() *callState[Req, Resp] {
+	if s := p.slot.Swap(nil); s != nil {
+		return s
+	}
+	p.mu.Lock()
+	s := p.free
+	if s != nil {
+		p.free = s.next
+		s.next = nil
+	}
+	p.mu.Unlock()
+	if s == nil {
+		s = &callState[Req, Resp]{p: p}
+		s.onReply = s.reply
+		s.onDeadline = s.expire
+	}
+	return s
+}
+
+// putState recycles a call state whose platform continuation has
+// resolved (replied, timed out at the platform, or failed to send). The
+// caller must have reset cont/timer/deadline/fired already.
+func (p *Port[Req, Resp]) putState(s *callState[Req, Resp]) {
+	if p.slot.CompareAndSwap(nil, s) {
+		return
+	}
+	p.mu.Lock()
+	s.next = p.free
+	p.free = s
+	p.mu.Unlock()
+}
+
+// Call performs the request/response interaction from the given node.
+// cont (which may be nil) runs exactly once: with the decoded reply, or
+// with a taxonomy error — ErrTimeout on deadline/platform-timeout expiry,
+// ErrRemote on a remote application error. A synchronous failure (veto,
+// unknown target, unsupported pattern, transport refusal) is returned by
+// Call itself and cont does not run.
+func (p *Port[Req, Resp]) Call(from middleware.Addr, req Req, cont func(Resp, error)) error {
+	args := p.enc(req)
+	if err := p.cfg.observeOut(p.b.kernel, args); err != nil {
+		return err
+	}
+	s := p.getState()
+	s.cont = cont
+	if p.cfg.deadline > 0 {
+		s.deadline = true
+		s.timer = p.b.kernel.ScheduleFuncRef(p.cfg.deadline, s.onDeadline)
+	}
+	if err := p.b.plat.Invoke(from, p.target, p.op, args, s.onReply); err != nil {
+		s.timer.Cancel()
+		s.reset()
+		p.putState(s)
+		return wrapErr(err)
+	}
+	return nil
+}
+
+// reset clears a state's per-call fields before it returns to the pool.
+func (s *callState[Req, Resp]) reset() {
+	var zero func(Resp, error)
+	s.cont = zero
+	s.timer = sim.TimerRef{}
+	s.deadline = false
+	s.fired = false
+}
+
+// reply is the platform continuation: it resolves the call unless the
+// deadline already did, and recycles the state — the platform holds no
+// reference past this point. Without an armed deadline (the common
+// case), reply is the call's only resolver and runs lock-free: the
+// happens-before chain to Call's field writes goes through the
+// platform's own mutex. With a deadline, the port mutex arbitrates
+// against the expiry event. Either way, the state returns to the pool
+// before the continuation runs (on local copies), so a reentrant Call
+// from inside cont may reuse it safely.
+func (s *callState[Req, Resp]) reply(result codec.Record, err error) {
+	p := s.p
+	var late bool
+	var cont func(Resp, error)
+	if !s.deadline {
+		cont = s.cont
+		s.reset()
+	} else {
+		p.mu.Lock()
+		late = s.fired
+		cont = s.cont
+		s.timer.Cancel()
+		s.reset()
+		p.mu.Unlock()
+	}
+	p.putState(s)
+	if !late && cont != nil {
+		var resp Resp
+		if err == nil && p.dec != nil {
+			resp, err = p.dec(result)
+		}
+		cont(resp, wrapErr(err))
+	}
+}
+
+// expire fires the continuation with ErrTimeout exactly once. The state
+// is not recycled here: the platform still references onReply, and the
+// eventual (late) reply returns the state to the pool. If the reply
+// never arrives (request lost on a raw transport), the state stays out
+// of the pool for exactly as long as the platform's own pending-call
+// entry for the same call — configure the profile's CallTimeout as the
+// backstop on lossy transports; its firing reclaims both.
+func (s *callState[Req, Resp]) expire() {
+	p := s.p
+	p.mu.Lock()
+	if s.fired {
+		p.mu.Unlock()
+		return
+	}
+	s.fired = true
+	cont := s.cont
+	var zero func(Resp, error)
+	s.cont = zero
+	p.mu.Unlock()
+	if cont != nil {
+		var resp Resp
+		cont(resp, &classed{class: ErrTimeout, cause: fmt.Errorf("port %s.%s: no reply within %v", p.target, p.op, p.cfg.deadline)})
+	}
+}
+
+// Export hosts typed operation handlers as one platform component
+// object: the server side of the port façade. Create it with
+// Binding.NewExport, add handlers with HandleOp, then Register it.
+type Export struct {
+	b    *Binding
+	ref  middleware.ObjRef
+	node middleware.Addr
+	cfg  portConfig
+
+	// ops is a small linear table (exports host a handful of operations):
+	// dispatch scans it with the length-first string compare, which beats
+	// hashing at this size.
+	ops        []exportOp
+	registered bool
+}
+
+// exportOp is one operation's dispatch entry.
+type exportOp struct {
+	name string
+	fn   func(codec.Record, middleware.Reply)
+}
+
+// lookup finds an operation's handler.
+func (e *Export) lookup(op string) func(codec.Record, middleware.Reply) {
+	for i := range e.ops {
+		if e.ops[i].name == op {
+			return e.ops[i].fn
+		}
+	}
+	return nil
+}
+
+// NewExport prepares a typed component object hosted at node under ref.
+// Options apply to every handled operation: a WithMonitor monitor
+// observes each inbound dispatch before its handler runs, with the
+// dispatched operation name as the event primitive (WithPrimitive
+// overrides it with one fixed primitive for single-primitive exports).
+func (b *Binding) NewExport(ref middleware.ObjRef, node middleware.Addr, opts ...PortOption) (*Export, error) {
+	if err := b.supports(middleware.PatternRPC); err != nil {
+		// Oneway-only platforms may still export (oneway targets objects);
+		// accept if either invocation pattern is offered.
+		if err2 := b.supports(middleware.PatternOneway); err2 != nil {
+			return nil, err
+		}
+	}
+	// Unlike single-operation endpoints, an export has no one operation
+	// name to default the monitor primitive to: leave it empty so each
+	// dispatch observes under its own op name unless WithPrimitive pins
+	// one (validated against the spec as usual).
+	var cfg portConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.primitive != "" {
+		if _, ok := b.svc.spec.Primitive(cfg.primitive); !ok {
+			return nil, &classed{
+				class: ErrNoSuchOp,
+				cause: fmt.Errorf("primitive %q not declared by service %q", cfg.primitive, b.svc.spec.Name),
+			}
+		}
+	}
+	return &Export{b: b, ref: ref, node: node, cfg: cfg}, nil
+}
+
+// respondPool recycles one operation's respond continuations: the cell's
+// typed closure is built once per pooled object, so a steady-state
+// dispatch hands the handler a respond function without allocating. Like
+// the port's call-state pool, a single-slot atomic serves sequential
+// dispatches; concurrent ones fall back to the mutex-guarded list.
+type respondPool[Resp any] struct {
+	enc  func(Resp) codec.Record
+	slot atomic.Pointer[respondCell[Resp]]
+	mu   sync.Mutex
+	free *respondCell[Resp]
+}
+
+type respondCell[Resp any] struct {
+	pool  *respondPool[Resp]
+	reply middleware.Reply
+	fn    func(Resp, error) // = cell.respond, built once
+	next  *respondCell[Resp]
+}
+
+// respond marshals and delivers the reply. Respond runs at most once
+// per dispatch: extra calls are no-ops. Recycling is the dispatch
+// wrapper's decision (put), never respond's own — a cell whose respond
+// escaped the handler is abandoned to the GC, so a stale retained
+// respond can only ever hit a disarmed cell, not a re-armed one.
+func (c *respondCell[Resp]) respond(resp Resp, err error) {
+	reply := c.reply
+	if reply == nil {
+		return // respond called twice
+	}
+	c.reply = nil
+	pool := c.pool
+	switch {
+	case err != nil:
+		reply(nil, err)
+	case pool.enc != nil:
+		reply(pool.enc(resp), nil)
+	default:
+		reply(codec.Record{}, nil)
+	}
+}
+
+// put returns a disarmed cell to the pool.
+func (p *respondPool[Resp]) put(c *respondCell[Resp]) {
+	if p.slot.CompareAndSwap(nil, c) {
+		return
+	}
+	p.mu.Lock()
+	c.next = p.free
+	p.free = c
+	p.mu.Unlock()
+}
+
+// get pops (or creates) a cell bound to one dispatch's reply.
+func (p *respondPool[Resp]) get(reply middleware.Reply) *respondCell[Resp] {
+	c := p.slot.Swap(nil)
+	if c == nil {
+		p.mu.Lock()
+		c = p.free
+		if c != nil {
+			p.free = c.next
+			c.next = nil
+		}
+		p.mu.Unlock()
+	}
+	if c == nil {
+		c = &respondCell[Resp]{pool: p}
+		c.fn = c.respond
+	}
+	c.reply = reply
+	return c
+}
+
+// HandleOp adds a typed handler for one operation. dec unmarshals the
+// argument record; it may be nil only for handlers that take the raw
+// record (Req = codec.Record), which HandleOp enforces at registration.
+// enc marshals the response (nil replies an empty record). The handler's
+// respond continuation may escape the handler and be called
+// asynchronously, but must be invoked at most once and never retained
+// past its invocation — the continuation is pooled per operation, so
+// this is the same class of contract as the wire-buffer aliasing rules
+// on network.Handler. The safety net: a duplicate call on a cell that
+// has not been re-armed is a no-op (a cell whose respond escaped the
+// handler is never re-armed, so the async path is fully guarded); only
+// a handler that responds synchronously, retains the continuation
+// anyway, and fires it during a later dispatch of the same operation
+// can misdeliver — a contract violation, never memory unsafety.
+func HandleOp[Req, Resp any](e *Export, op string,
+	dec func(codec.Record) (Req, error), enc func(Resp) codec.Record,
+	h func(req Req, respond func(Resp, error))) error {
+	if e.registered {
+		return &classed{class: ErrAlreadyBound, cause: fmt.Errorf("export %q already registered", e.ref)}
+	}
+	if h == nil {
+		return fmt.Errorf("svc: export %q: nil handler for %q", e.ref, op)
+	}
+	if dec == nil {
+		var zero Req
+		if _, ok := any(zero).(codec.Record); !ok {
+			return fmt.Errorf("svc: export %q: op %q: nil decoder requires Req = codec.Record, got %T", e.ref, op, zero)
+		}
+	}
+	if e.lookup(op) != nil {
+		return fmt.Errorf("svc: export %q: duplicate handler for %q", e.ref, op)
+	}
+	pool := &respondPool[Resp]{enc: enc}
+	e.ops = append(e.ops, exportOp{name: op, fn: func(args codec.Record, reply middleware.Reply) {
+		var req Req
+		if dec != nil {
+			var err error
+			if req, err = dec(args); err != nil {
+				reply(nil, err)
+				return
+			}
+		} else if r, ok := any(args).(Req); ok {
+			req = r
+		}
+		c := pool.get(reply)
+		h(req, c.fn)
+		// Recycle only when the handler responded synchronously: then the
+		// wrapper holds the only live reference. A respond that escaped
+		// the handler keeps its cell un-pooled (one cell per async
+		// dispatch — the same per-dispatch cost the raw reply closure
+		// pays), so its eventual call, and any stale duplicate, can never
+		// touch a re-armed cell.
+		if c.reply == nil {
+			pool.put(c)
+		}
+	}})
+	return nil
+}
+
+// Register hosts the export on the platform. Dispatches to operations
+// without a handler reply middleware.ErrUnknownOperation, exactly as a
+// hand-written component object would.
+func (e *Export) Register() error {
+	if e.registered {
+		return &classed{class: ErrAlreadyBound, cause: fmt.Errorf("export %q already registered", e.ref)}
+	}
+	obj := middleware.ObjectFunc(func(op string, args codec.Record, reply middleware.Reply) {
+		fn := e.lookup(op)
+		if fn == nil {
+			reply(nil, fmt.Errorf("%w: %q", middleware.ErrUnknownOperation, op))
+			return
+		}
+		e.cfg.observeInOp(e.b.kernel, op, args)
+		fn(args, reply)
+	})
+	if err := e.b.plat.Register(e.ref, e.node, obj); err != nil {
+		return wrapErr(err)
+	}
+	e.registered = true
+	return nil
+}

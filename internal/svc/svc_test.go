@@ -1,0 +1,651 @@
+package svc_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/middleware"
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/svc"
+)
+
+// testSpec is a minimal valid service definition for façade tests.
+func testSpec() *core.ServiceSpec {
+	return &core.ServiceSpec{
+		Name: "test-service",
+		Primitives: []core.PrimitiveDef{
+			{Name: "ping", Direction: core.FromUser, Params: []core.ParamDef{{Name: "n", Kind: core.KindInt}}},
+			{Name: "pong", Direction: core.ToUser, Params: []core.ParamDef{{Name: "n", Kind: core.KindInt}}},
+		},
+	}
+}
+
+// stack builds kernel + platform for one profile on a lossless 1ms net.
+func stack(t testing.TB, profile middleware.Profile) (*sim.Kernel, *middleware.Platform) {
+	t.Helper()
+	k := sim.NewKernel(sim.WithSeed(5))
+	net := network.New(k, network.WithDefaultLink(network.LinkConfig{Latency: time.Millisecond}))
+	transport := protocol.NewReliableDatagram(k, protocol.NewUnreliableDatagram(net), protocol.ReliableDatagramConfig{})
+	return k, middleware.New(k, transport, profile, "mw-broker")
+}
+
+// bound declares and binds the test service in one step.
+func bound(t testing.TB, p *middleware.Platform, patterns ...middleware.Pattern) *svc.Binding {
+	t.Helper()
+	s, err := svc.New(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Bind(p, patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+type pingReq struct{ N int64 }
+
+type pingResp struct{ N int64 }
+
+func encPing(r pingReq) codec.Record { return codec.Record{"n": r.N} }
+
+func decPing(r codec.Record) (pingResp, error) {
+	n, _ := r["n"].(int64)
+	return pingResp{N: n}, nil
+}
+
+// exportEcho registers an export whose "ping" handler echoes n+1.
+func exportEcho(t testing.TB, b *svc.Binding) {
+	t.Helper()
+	e, err := b.NewExport("server", "node-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = svc.HandleOp(e, "ping",
+		func(r codec.Record) (pingReq, error) { n, _ := r["n"].(int64); return pingReq{N: n}, nil },
+		func(r pingResp) codec.Record { return codec.Record{"n": r.N} },
+		func(req pingReq, respond func(pingResp, error)) { respond(pingResp{N: req.N + 1}, nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPortRoundTrip(t *testing.T) {
+	k, p := stack(t, middleware.ProfileCORBALike)
+	b := bound(t, p, middleware.PatternRPC)
+	exportEcho(t, b)
+	port, err := svc.NewPort(b, "server", "ping", encPing, decPing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got pingResp
+	var callErr error
+	if err := port.Call("node-c", pingReq{N: 41}, func(r pingResp, e error) { got, callErr = r, e }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if callErr != nil {
+		t.Fatalf("call error: %v", callErr)
+	}
+	if got.N != 42 {
+		t.Fatalf("got %d, want 42", got.N)
+	}
+}
+
+func TestBindChecksProfilePatterns(t *testing.T) {
+	// Every predefined profile, checked against every pattern it does NOT
+	// offer: the bind must fail with ErrUnsupportedPattern.
+	all := []middleware.Pattern{middleware.PatternRPC, middleware.PatternOneway, middleware.PatternQueue, middleware.PatternPubSub}
+	for _, profile := range middleware.Profiles() {
+		for _, pat := range all {
+			s, err := svc.New(testSpec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, p := stack(t, profile)
+			b, err := s.Bind(p, pat)
+			if profile.Supports(pat) {
+				if err != nil {
+					t.Fatalf("%s/%s: unexpected bind error %v", profile.Name, pat, err)
+				}
+				continue
+			}
+			if !errors.Is(err, svc.ErrUnsupportedPattern) {
+				t.Fatalf("%s/%s: bind error = %v, want ErrUnsupportedPattern", profile.Name, pat, err)
+			}
+			_ = b
+		}
+	}
+}
+
+func TestPortConstructorsCheckPattern(t *testing.T) {
+	// Deferred checks: bind with no declared patterns, then let each port
+	// constructor reject its own unsupported pattern.
+	_, pq := stack(t, middleware.ProfileMQLike) // queue only
+	bq := bound(t, pq)
+	if _, err := svc.NewPort(bq, "x", "op", encPing, decPing); !errors.Is(err, svc.ErrUnsupportedPattern) {
+		t.Fatalf("RPC port on MQ-like: %v, want ErrUnsupportedPattern", err)
+	}
+	if _, err := svc.NewOnewaySink(bq, "x", "op", encPing); !errors.Is(err, svc.ErrUnsupportedPattern) {
+		t.Fatalf("oneway sink on MQ-like: %v, want ErrUnsupportedPattern", err)
+	}
+	if _, err := svc.NewTopicSink(bq, "t", func(pingReq) codec.Message { return codec.Message{} }); !errors.Is(err, svc.ErrUnsupportedPattern) {
+		t.Fatalf("topic sink on MQ-like: %v, want ErrUnsupportedPattern", err)
+	}
+	_, pr := stack(t, middleware.ProfileRMILike) // RPC only
+	br := bound(t, pr)
+	if _, err := svc.NewQueueSink(br, "q", func(pingReq) codec.Message { return codec.Message{} }); !errors.Is(err, svc.ErrUnsupportedPattern) {
+		t.Fatalf("queue sink on RMI-like: %v, want ErrUnsupportedPattern", err)
+	}
+	if _, err := svc.NewQueueSource(br, "q", "n", func(codec.Message) (pingReq, error) { return pingReq{}, nil }, func(pingReq) {}); !errors.Is(err, svc.ErrUnsupportedPattern) {
+		t.Fatalf("queue source on RMI-like: %v, want ErrUnsupportedPattern", err)
+	}
+	if _, err := svc.NewTopicSource(br, "t", "n", func(codec.MsgView) (pingReq, error) { return pingReq{}, nil }, func(pingReq) {}); !errors.Is(err, svc.ErrUnsupportedPattern) {
+		t.Fatalf("topic source on RMI-like: %v, want ErrUnsupportedPattern", err)
+	}
+}
+
+func TestUnknownServiceTarget(t *testing.T) {
+	_, p := stack(t, middleware.ProfileCORBALike)
+	b := bound(t, p)
+	port, err := svc.NewPort(b, "ghost", "ping", encPing, decPing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := port.Call("node-c", pingReq{}, nil); !errors.Is(err, svc.ErrNoSuchService) {
+		t.Fatalf("call to unregistered target: %v, want ErrNoSuchService", err)
+	}
+	// Queue sends to undeclared queues classify the same way.
+	bq := boundOn(t, middleware.ProfileJMSLike)
+	sink, err := svc.NewQueueSink(bq, "nope", func(r pingReq) codec.Message { return codec.NewMessage("m", nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Send("node-c", pingReq{}); !errors.Is(err, svc.ErrNoSuchService) {
+		t.Fatalf("put to undeclared queue: %v, want ErrNoSuchService", err)
+	}
+}
+
+// boundOn is bound() with its own fresh stack.
+func boundOn(t testing.TB, profile middleware.Profile) *svc.Binding {
+	t.Helper()
+	_, p := stack(t, profile)
+	return bound(t, p)
+}
+
+func TestUnknownOperation(t *testing.T) {
+	// A port aimed at a registered export but an unhandled op: the remote
+	// rejection travels back as an application error (ErrRemote) carrying
+	// the unknown-operation text.
+	k, p := stack(t, middleware.ProfileCORBALike)
+	b := bound(t, p)
+	exportEcho(t, b)
+	port, err := svc.NewPort(b, "server", "warp", encPing, decPing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var callErr error
+	if err := port.Call("node-c", pingReq{}, func(_ pingResp, e error) { callErr = e }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(callErr, svc.ErrRemote) {
+		t.Fatalf("unknown op reply: %v, want ErrRemote", callErr)
+	}
+	// Declaring a port for a primitive the spec does not define fails at
+	// construction with ErrNoSuchOp.
+	if _, err := svc.NewPort(b, "server", "ping", encPing, decPing, svc.WithPrimitive("levitate")); !errors.Is(err, svc.ErrNoSuchOp) {
+		t.Fatalf("undeclared primitive: %v, want ErrNoSuchOp", err)
+	}
+}
+
+func TestDoubleBind(t *testing.T) {
+	s, err := svc.New(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p1 := stack(t, middleware.ProfileCORBALike)
+	if _, err := s.Bind(p1); err != nil {
+		t.Fatal(err)
+	}
+	_, p2 := stack(t, middleware.ProfileCORBALike)
+	if _, err := s.Bind(p2); !errors.Is(err, svc.ErrAlreadyBound) {
+		t.Fatalf("second bind: %v, want ErrAlreadyBound", err)
+	}
+	// Double export registration classifies the same way.
+	b := boundOn(t, middleware.ProfileCORBALike)
+	e1, err := b.NewExport("obj", "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Register(); !errors.Is(err, svc.ErrAlreadyBound) {
+		t.Fatalf("re-register export: %v, want ErrAlreadyBound", err)
+	}
+	e2, err := b.NewExport("obj", "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Register(); !errors.Is(err, svc.ErrAlreadyBound) {
+		t.Fatalf("duplicate ref register: %v, want ErrAlreadyBound", err)
+	}
+}
+
+func TestDeadlineFiresContinuationExactlyOnce(t *testing.T) {
+	k, p := stack(t, middleware.ProfileCORBALike)
+	b := bound(t, p)
+	// A server that replies only when poked — after the deadline.
+	var stashed func(pingResp, error)
+	e, err := b.NewExport("slow", "node-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = svc.HandleOp(e, "ping",
+		func(r codec.Record) (pingReq, error) { return pingReq{}, nil },
+		func(r pingResp) codec.Record { return codec.Record{"n": r.N} },
+		func(req pingReq, respond func(pingResp, error)) { stashed = respond })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(); err != nil {
+		t.Fatal(err)
+	}
+	port, err := svc.NewPort(b, "slow", "ping", encPing, decPing, svc.WithDeadline(10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	var firstErr error
+	var firedAt time.Duration
+	if err := port.Call("node-c", pingReq{}, func(_ pingResp, e error) {
+		fired++
+		firstErr = e
+		firedAt = k.Now()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Release the stashed reply well after the deadline: the late reply
+	// must be dropped, not delivered as a second continuation firing.
+	k.ScheduleFunc(50*time.Millisecond, func() { stashed(pingResp{N: 99}, nil) })
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("continuation fired %d times, want exactly 1", fired)
+	}
+	if !errors.Is(firstErr, svc.ErrTimeout) {
+		t.Fatalf("deadline error = %v, want ErrTimeout", firstErr)
+	}
+	if firedAt != 10*time.Millisecond {
+		t.Fatalf("deadline fired at %v, want 10ms of virtual time", firedAt)
+	}
+}
+
+func TestDeadlineNotFiredOnTimelyReply(t *testing.T) {
+	k, p := stack(t, middleware.ProfileCORBALike)
+	b := bound(t, p)
+	exportEcho(t, b)
+	port, err := svc.NewPort(b, "server", "ping", encPing, decPing, svc.WithDeadline(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	var callErr error
+	for i := 0; i < 3; i++ { // exercise call-state reuse across calls
+		if err := port.Call("node-c", pingReq{N: int64(i)}, func(_ pingResp, e error) {
+			fired++
+			if e != nil {
+				callErr = e
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fired != 3 || callErr != nil {
+		t.Fatalf("fired=%d err=%v, want 3 clean firings", fired, callErr)
+	}
+}
+
+// vetoMonitor rejects every primitive whose "n" parameter is negative.
+type vetoMonitor struct{ seen int }
+
+func (m *vetoMonitor) Observe(e core.Event) error {
+	m.seen++
+	if n, _ := e.Params["n"].(int64); n < 0 {
+		return &core.ViolationError{Constraint: "non-negative", Event: &e, Detail: "n < 0"}
+	}
+	return nil
+}
+
+func (m *vetoMonitor) AtEnd() error { return nil }
+
+func TestMonitorVetoPropagation(t *testing.T) {
+	k, p := stack(t, middleware.ProfileCORBALike)
+	b := bound(t, p)
+	exportEcho(t, b)
+	mon := &vetoMonitor{}
+	sap := core.SAP{Role: "tester", ID: "c1"}
+	port, err := svc.NewPort(b, "server", "ping", encPing, decPing,
+		svc.WithMonitor(sap, mon), svc.WithPrimitive("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.Stats().Calls
+	err = port.Call("node-c", pingReq{N: -1}, func(pingResp, error) { t.Error("vetoed call must not run its continuation") })
+	if !errors.Is(err, svc.ErrVetoed) {
+		t.Fatalf("vetoed call: %v, want ErrVetoed", err)
+	}
+	var verr *core.ViolationError
+	if !errors.As(err, &verr) || verr.Constraint != "non-negative" {
+		t.Fatalf("veto must carry the monitor's ViolationError, got %v", err)
+	}
+	if p.Stats().Calls != before {
+		t.Fatal("vetoed interaction still reached the platform")
+	}
+	// A conforming call passes through the same monitor and completes.
+	done := false
+	if err := port.Call("node-c", pingReq{N: 7}, func(r pingResp, e error) { done = e == nil && r.N == 8 }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("conforming call did not complete")
+	}
+	if mon.seen != 2 {
+		t.Fatalf("monitor observed %d events, want 2", mon.seen)
+	}
+}
+
+func TestTypedPubSubAndQueue(t *testing.T) {
+	k, p := stack(t, middleware.ProfileJMSLike)
+	b := bound(t, p, middleware.PatternQueue, middleware.PatternPubSub)
+
+	type note struct{ Seq uint64 }
+	encNote := func(n note) codec.Message { return codec.NewMessage("note", codec.Record{"seq": n.Seq}) }
+
+	// Topic: typed publisher, zero-copy typed subscriber.
+	var topicGot []uint64
+	src, err := svc.NewTopicSource(b, "news", "sub-1",
+		func(v codec.MsgView) (note, error) {
+			fields, ok := v.Record("fields")
+			if !ok {
+				return note{}, fmt.Errorf("no fields")
+			}
+			seq, _ := fields["seq"].(uint64)
+			return note{Seq: seq}, nil
+		},
+		func(n note) { topicGot = append(topicGot, n.Seq) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	topic, err := svc.NewTopicSink(b, "news", encNote)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue: typed producer and consumer.
+	if err := b.DeclareQueue("jobs"); err != nil {
+		t.Fatal(err)
+	}
+	var queueGot []uint64
+	if _, err := svc.NewQueueSource(b, "jobs", "worker",
+		func(m codec.Message) (note, error) {
+			seq, _ := m.Fields["seq"].(uint64)
+			return note{Seq: seq}, nil
+		},
+		func(n note) { queueGot = append(queueGot, n.Seq) }); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := svc.NewQueueSink(b, "jobs", encNote)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := uint64(1); i <= 3; i++ {
+		if err := topic.Send("pub", note{Seq: i}); err != nil {
+			t.Fatal(err)
+		}
+		if err := jobs.Send("pub", note{Seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range [][]uint64{topicGot, queueGot} {
+		if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+			t.Fatalf("endpoint %d received %v, want [1 2 3]", i, got)
+		}
+	}
+	if src.Received() != 3 || src.Dropped() != 0 {
+		t.Fatalf("source counters %d/%d, want 3/0", src.Received(), src.Dropped())
+	}
+}
+
+func TestOnewaySink(t *testing.T) {
+	k, p := stack(t, middleware.ProfileCORBALike)
+	b := bound(t, p)
+	var got []int64
+	e, err := b.NewExport("collector", "node-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = svc.HandleOp(e, "put",
+		func(r codec.Record) (pingReq, error) { n, _ := r["n"].(int64); return pingReq{N: n}, nil },
+		func(struct{}) codec.Record { return codec.Record{} },
+		func(req pingReq, respond func(struct{}, error)) {
+			got = append(got, req.N)
+			respond(struct{}{}, nil)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(); err != nil {
+		t.Fatal(err)
+	}
+	sink, err := svc.NewOnewaySink(b, "collector", "put", encPing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		if err := sink.Send("node-c", pingReq{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("collector got %v, want 4 values in order", got)
+	}
+}
+
+func TestSpecValidationAndSchemas(t *testing.T) {
+	if _, err := svc.New(nil); err == nil {
+		t.Fatal("nil spec accepted")
+	}
+	if _, err := svc.New(&core.ServiceSpec{}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	s, err := svc.New(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, ok := s.Schema("ping")
+	if !ok {
+		t.Fatal("ping schema not compiled")
+	}
+	if got := sc.Fields(); len(got) != 1 || got[0] != "n" {
+		t.Fatalf("ping schema fields = %v", got)
+	}
+	if _, ok := s.Schema("levitate"); ok {
+		t.Fatal("undeclared primitive has a schema")
+	}
+}
+
+func TestRemoteErrorClassification(t *testing.T) {
+	k, p := stack(t, middleware.ProfileCORBALike)
+	b := bound(t, p)
+	e, err := b.NewExport("grumpy", "node-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = svc.HandleOp(e, "ping",
+		func(codec.Record) (pingReq, error) { return pingReq{}, nil },
+		func(pingResp) codec.Record { return codec.Record{} },
+		func(_ pingReq, respond func(pingResp, error)) { respond(pingResp{}, errors.New("no")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(); err != nil {
+		t.Fatal(err)
+	}
+	port, err := svc.NewPort(b, "grumpy", "ping", encPing, decPing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var callErr error
+	if err := port.Call("node-c", pingReq{}, func(_ pingResp, e error) { callErr = e }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(callErr, svc.ErrRemote) || !errors.Is(callErr, middleware.ErrRemote) {
+		t.Fatalf("remote error = %v, want both svc.ErrRemote and middleware.ErrRemote in the chain", callErr)
+	}
+}
+
+func TestStaleRespondCannotHijackLaterDispatch(t *testing.T) {
+	// A handler that escapes its respond continuation, responds once
+	// asynchronously, then (in violation of the once contract) calls it
+	// again after further dispatches have run: the duplicate must be a
+	// no-op — it must not deliver the old response to a later caller.
+	k, p := stack(t, middleware.ProfileCORBALike)
+	b := bound(t, p)
+	var stashed []func(pingResp, error)
+	e, err := b.NewExport("slow", "node-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = svc.HandleOp(e, "ping",
+		func(r codec.Record) (pingReq, error) { n, _ := r["n"].(int64); return pingReq{N: n}, nil },
+		func(r pingResp) codec.Record { return codec.Record{"n": r.N} },
+		func(req pingReq, respond func(pingResp, error)) {
+			stashed = append(stashed, respond)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(); err != nil {
+		t.Fatal(err)
+	}
+	port, err := svc.NewPort(b, "slow", "ping", encPing, decPing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	cont := func(r pingResp, e error) {
+		if e != nil {
+			t.Errorf("call error: %v", e)
+		}
+		got = append(got, r.N)
+	}
+	for i := int64(1); i <= 2; i++ {
+		if err := port.Call("node-c", pingReq{N: i}, cont); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.ScheduleFunc(10*time.Millisecond, func() {
+		stashed[0](pingResp{N: 101}, nil) // call 1 answered
+		stashed[0](pingResp{N: 666}, nil) // stale duplicate: must vanish
+		stashed[1](pingResp{N: 102}, nil) // call 2 answered
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 101 || got[1] != 102 {
+		t.Fatalf("replies = %v, want [101 102] (stale duplicate suppressed)", got)
+	}
+}
+
+// recordingMonitor collects observed primitive names.
+type recordingMonitor struct{ prims []string }
+
+func (m *recordingMonitor) Observe(e core.Event) error {
+	m.prims = append(m.prims, e.Primitive)
+	return nil
+}
+
+func (m *recordingMonitor) AtEnd() error { return nil }
+
+func TestExportMonitorObservesPerOpPrimitive(t *testing.T) {
+	// An export hosting several operations reports each inbound dispatch
+	// under the dispatched operation's name, not the export's ref.
+	k, p := stack(t, middleware.ProfileCORBALike)
+	b := bound(t, p)
+	mon := &recordingMonitor{}
+	e, err := b.NewExport("server", "node-s", svc.WithMonitor(core.SAP{Role: "srv", ID: "s1"}, mon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	handle := func(op string) {
+		t.Helper()
+		if err := svc.HandleOp(e, op,
+			func(codec.Record) (pingReq, error) { return pingReq{}, nil },
+			func(pingResp) codec.Record { return codec.Record{} },
+			func(_ pingReq, respond func(pingResp, error)) { respond(pingResp{}, nil) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	handle("ping")
+	handle("pong")
+	if err := e.Register(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{"ping", "pong", "ping"} {
+		port, err := svc.NewPort(b, "server", op, encPing, decPing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := port.Call("node-c", pingReq{}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"ping", "pong", "ping"}
+	if len(mon.prims) != len(want) {
+		t.Fatalf("observed %v, want %v", mon.prims, want)
+	}
+	for i := range want {
+		if mon.prims[i] != want[i] {
+			t.Fatalf("observed %v, want %v", mon.prims, want)
+		}
+	}
+	// A pinned WithPrimitive still wins, and must exist in the spec.
+	if _, err := b.NewExport("x", "n", svc.WithPrimitive("levitate")); !errors.Is(err, svc.ErrNoSuchOp) {
+		t.Fatalf("undeclared export primitive: %v, want ErrNoSuchOp", err)
+	}
+}
