@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-smoke bench-kernel bench-codec bench-path bench-svc bench-baseline bench-baseline-codec bench-baseline-path bench-baseline-svc bench-regression sweep sweep-large profile fig fuzz cover fmt vet check clean
+.PHONY: all build test bench bench-smoke bench-kernel bench-codec bench-path bench-svc bench-baseline bench-baseline-codec bench-baseline-path bench-baseline-svc bench-regression sweep sweep-large profile fig fuzz cover fmt vet repolint lint check clean help
 
 all: check
 
@@ -105,9 +105,41 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# The repository's own analyzer suite (see DESIGN.md §1.5): determinism,
+# map-iteration-order, pooled-buffer aliasing, and hot-path allocation
+# checks. Equivalent to: go vet -vettool=bin/repolint ./...
+repolint:
+	$(GO) build -o bin/repolint ./cmd/repolint
+	./bin/repolint ./...
+
+# The full static-analysis gate: repolint + go vet, plus staticcheck
+# when installed (CI always runs it).
+lint: repolint vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
 check: vet build test
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 clean:
 	$(GO) clean ./...
 	rm -f benchfig floorctl mdagen sdlc svcverify sweep
+	rm -rf bin
+
+help:
+	@echo "check            vet + build + test + gofmt (the tier-1 gate)"
+	@echo "lint             repolint + vet (+ staticcheck when installed)"
+	@echo "repolint         build and run the custom analyzer suite over ./..."
+	@echo "test             go test ./..."
+	@echo "bench-smoke      one iteration of every benchmark"
+	@echo "bench-regression compare kernel/codec/path/svc benches against baselines"
+	@echo "bench-baseline*  refresh a committed benchmark baseline"
+	@echo "sweep            the 120-scenario cross-product sweep"
+	@echo "sweep-large      the large-client fan-out band"
+	@echo "profile          CPU+alloc profiles of the full sweep"
+	@echo "fuzz             bounded kernel + codec fuzzing"
+	@echo "cover            coverage profile + per-function summary"
+	@echo "fig              regenerate every paper figure"

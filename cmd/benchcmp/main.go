@@ -227,13 +227,18 @@ func main() {
 				fmt.Sprintf("%s: %.3g allocs/op (baseline 0)", name, cur.AllocsPerOp))
 		}
 	}
+	var unbaselined []string
 	for name := range current {
 		if name == *normalize {
 			continue
 		}
 		if _, ok := base.Benchmarks[name]; !ok {
-			fmt.Printf("note: %s not in baseline (add it with -record)\n", name)
+			unbaselined = append(unbaselined, name)
 		}
+	}
+	sort.Strings(unbaselined)
+	for _, name := range unbaselined {
+		fmt.Printf("note: %s not in baseline (add it with -record)\n", name)
 	}
 
 	failed := false

@@ -1,0 +1,67 @@
+// Command repolint runs the repository's custom static-analysis suite
+// (internal/analysis/repolint): simdeterminism, mapiter, poolalias,
+// hotpathalloc, and allowcheck. It is the compile-time gate for the
+// invariants the sweep and bench harnesses otherwise only catch at
+// runtime — see DESIGN.md §1.5.
+//
+// Usage:
+//
+//	go build -o bin/repolint ./cmd/repolint
+//	bin/repolint ./...                       # analyze packages
+//	bin/repolint help [analyzer]             # describe the suite
+//
+// The binary is a go/analysis unitchecker: invoked with package
+// patterns it re-executes itself through the build system as
+//
+//	go vet -vettool=bin/repolint ./...
+//
+// which is also available directly for editor/CI integration. Exit
+// status is non-zero if any diagnostic is reported.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/analysis/repolint"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// When go vet drives us it probes `-V=full` and `-flags`, then
+	// invokes the tool once per package with a *.cfg argument; `help`
+	// is the unitchecker's own subcommand. Everything else is driver
+	// mode.
+	if len(args) > 0 && (strings.HasPrefix(args[0], "-") ||
+		strings.HasSuffix(args[len(args)-1], ".cfg") || args[0] == "help") {
+		unitchecker.Main(repolint.All()...) // exits
+	}
+
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: repolint <package pattern>...  (e.g. repolint ./...)")
+		fmt.Fprintln(os.Stderr, "       repolint help [analyzer]")
+		os.Exit(2)
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint: cannot locate own binary:", err)
+		os.Exit(2)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintln(os.Stderr, "repolint: go vet:", err)
+		os.Exit(2)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/chat"
@@ -50,8 +51,13 @@ func main() {
 	fmt.Printf("ran as: %s\n", how)
 	fmt.Printf("said %d utterances; %d deliveries across %d participants:\n",
 		res.Said, res.Delivered, len(res.PerParticipant))
-	for p, n := range res.PerParticipant {
-		fmt.Printf("  %s heard %d\n", p, n)
+	participantsHeard := make([]string, 0, len(res.PerParticipant))
+	for p := range res.PerParticipant {
+		participantsHeard = append(participantsHeard, p)
+	}
+	sort.Strings(participantsHeard)
+	for _, p := range participantsHeard {
+		fmt.Printf("  %s heard %d\n", p, res.PerParticipant[p])
 	}
 	fmt.Printf("own-message delivery latency: %s\n", res.DeliveryLatency.Summary())
 	fmt.Printf("network: %d datagrams sent, %d dropped by %.0f%% loss (masked below the service)\n",

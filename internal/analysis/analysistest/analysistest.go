@@ -1,0 +1,303 @@
+// Package analysistest runs a go/analysis analyzer over golden test
+// packages and compares its diagnostics against `// want` comments —
+// a self-contained stand-in for golang.org/x/tools/go/analysis/analysistest,
+// which cannot be vendored here (it drags in go/packages and the
+// whole loader; this repo vendors only the analysis core that the Go
+// toolchain itself ships). The contract it implements is the familiar
+// one:
+//
+//   - test packages live under <dir>/src/<import/path>/*.go, GOPATH
+//     style; imports between test packages resolve within src/, and
+//     standard-library imports resolve from GOROOT source
+//   - a comment `// want "rx"` (one or more quoted or backquoted Go
+//     strings) on a line asserts that the analyzer reports, on exactly
+//     that line, diagnostics matching each regular expression
+//   - every diagnostic must be matched by a want and every want by a
+//     diagnostic, or the test fails with a location-by-location report
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads the package with the given import path from dir/src,
+// applies analyzer a (and its Requires closure), and checks the
+// diagnostics against the package's // want comments.
+func Run(t *testing.T, dir, importPath string, a *analysis.Analyzer) {
+	t.Helper()
+	l := loaderFor(dir)
+	if _, err := l.Import(importPath); err != nil {
+		t.Fatalf("loading %s from %s: %v", importPath, dir, err)
+	}
+	diags, err := runAnalyzer(l, importPath, a)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, importPath, err)
+	}
+	checkWants(t, l, importPath, diags)
+}
+
+// loader type-checks GOPATH-style test packages rooted at srcRoot,
+// falling back to compiling the standard library from GOROOT source
+// for everything else. Loaded packages are cached, and loaders
+// themselves are cached per root: the expensive part is type-checking
+// stdlib dependencies (fmt pulls in a few dozen packages), which this
+// amortizes across all tests in the process.
+type loader struct {
+	fset    *token.FileSet
+	srcRoot string
+	std     types.Importer
+	mu      sync.Mutex
+	pkgs    map[string]*loadedPkg
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+var (
+	loadersMu sync.Mutex
+	loaders   = make(map[string]*loader)
+)
+
+func loaderFor(dir string) *loader {
+	loadersMu.Lock()
+	defer loadersMu.Unlock()
+	if l, ok := loaders[dir]; ok {
+		return l
+	}
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:    fset,
+		srcRoot: filepath.Join(dir, "src"),
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*loadedPkg),
+	}
+	loaders[dir] = l
+	return l
+}
+
+// Import implements types.Importer over the test src tree.
+func (l *loader) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	if p, ok := l.pkgs[path]; ok {
+		l.mu.Unlock()
+		return p.pkg, nil
+	}
+	l.mu.Unlock()
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return l.load(path, dir)
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path, dir string) (*types.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.pkgs[path] = &loadedPkg{pkg: pkg, files: files, info: info}
+	l.mu.Unlock()
+	return pkg, nil
+}
+
+// runAnalyzer executes a and its Requires closure over the loaded
+// package, returning only a's own diagnostics.
+func runAnalyzer(l *loader, path string, a *analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	lp := l.pkgs[path]
+	if lp == nil {
+		return nil, fmt.Errorf("package %s not loaded", path)
+	}
+	var diags []analysis.Diagnostic
+	results := make(map[*analysis.Analyzer]any)
+	var exec func(an *analysis.Analyzer) error
+	exec = func(an *analysis.Analyzer) error {
+		if _, done := results[an]; done {
+			return nil
+		}
+		for _, req := range an.Requires {
+			if err := exec(req); err != nil {
+				return err
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   an,
+			Fset:       l.fset,
+			Files:      lp.files,
+			Pkg:        lp.pkg,
+			TypesInfo:  lp.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   results,
+			Report: func(d analysis.Diagnostic) {
+				if an == a {
+					diags = append(diags, d)
+				}
+			},
+			ReadFile: os.ReadFile,
+			// The repolint suite uses no facts; these stubs keep any
+			// accidental use loud instead of a nil-call panic.
+			ImportObjectFact:  func(types.Object, analysis.Fact) bool { panic("facts unsupported in this harness") },
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { panic("facts unsupported in this harness") },
+			ExportObjectFact:  func(types.Object, analysis.Fact) { panic("facts unsupported in this harness") },
+			ExportPackageFact: func(analysis.Fact) { panic("facts unsupported in this harness") },
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		res, err := an.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s: %w", an.Name, err)
+		}
+		results[an] = res
+		return nil
+	}
+	if err := exec(a); err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+// wantMarker locates the start of a want expectation inside a comment:
+// the word "want" followed by a quoted or backquoted regexp.
+var wantMarker = regexp.MustCompile("\\bwant [\"`]")
+
+// want is one expectation parsed from a `// want "rx"` comment.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func checkWants(t *testing.T, l *loader, path string, diags []analysis.Diagnostic) {
+	t.Helper()
+	lp := l.pkgs[path]
+	var wants []*want
+	for _, f := range lp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// The marker may appear mid-comment: a line whose only
+				// comment is a //repolint: directive states its
+				// expectation inside that same comment, e.g.
+				//   //repolint:allow bogus -- want `unknown repolint check`
+				loc := wantMarker.FindStringIndex(c.Text)
+				if loc == nil {
+					continue
+				}
+				rest := c.Text[loc[1]-1:]
+				pos := l.fset.Position(c.Pos())
+				patterns, err := parseQuoted(rest)
+				if err != nil {
+					t.Errorf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+					continue
+				}
+				for _, p := range patterns {
+					rx, err := regexp.Compile(p)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx, raw: p})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := l.fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseQuoted extracts the leading sequence of Go-quoted strings from
+// s, e.g. `"a" "b" trailing prose` → ["a", "b"]. Parsing stops at the
+// first token that is not a quoted string, so a want expectation may be
+// followed by explanatory text.
+func parseQuoted(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		prefix, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			break
+		}
+		unq, err := strconv.Unquote(prefix)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, unq)
+		s = s[len(prefix):]
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return out, nil
+}

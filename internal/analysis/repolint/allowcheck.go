@@ -1,0 +1,86 @@
+package repolint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Allowcheck validates the //repolint: directives themselves, so a
+// typo in an allow comment fails the build instead of silently
+// suppressing nothing:
+//
+//   - an unknown check name in //repolint:allow is reported
+//   - an allow directive with no check names is reported
+//   - an unknown directive (//repolint:anything-else) is reported
+//   - a //repolint:hotpath comment anywhere but a function declaration
+//     doc comment is reported (it would otherwise be dead)
+//
+// Check: allowdecl (and yes, an allowcheck diagnostic can itself be
+// suppressed with //repolint:allow allowdecl, which is occasionally
+// needed in this suite's own test data).
+var Allowcheck = &analysis.Analyzer{
+	Name:     "allowcheck",
+	Doc:      "validate //repolint: directive grammar and check names (check: allowdecl)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runAllowcheck,
+}
+
+func runAllowcheck(pass *analysis.Pass) (any, error) {
+	allows := CollectAllows(pass)
+
+	// Collect the comment groups that are doc comments of function
+	// declarations: the only place a hotpath directive is live.
+	funcDocs := make(map[*ast.CommentGroup]bool)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		if doc := n.(*ast.FuncDecl).Doc; doc != nil {
+			funcDocs[doc] = true
+		}
+	})
+
+	known := make([]string, 0, len(Checks))
+	for name := range Checks {
+		known = append(known, name)
+	}
+	sort.Strings(known)
+	knownList := strings.Join(known, ", ")
+
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, args, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				switch name {
+				case allowDirective:
+					checks := parseAllowArgs(args)
+					if len(checks) == 0 {
+						allows.Report(pass, c.Pos(), "allowdecl",
+							"repolint:allow directive names no checks; write //repolint:allow <check> [-- reason] (known checks: %s)", knownList)
+					}
+					for _, check := range checks {
+						if _, ok := Checks[check]; !ok {
+							allows.Report(pass, c.Pos(), "allowdecl",
+								"unknown repolint check %q in allow directive (known checks: %s)", check, knownList)
+						}
+					}
+				case hotpathDirective:
+					if !funcDocs[cg] {
+						allows.Report(pass, c.Pos(), "allowdecl",
+							"repolint:hotpath directive is only effective in the doc comment of a function declaration")
+					}
+				default:
+					allows.Report(pass, c.Pos(), "allowdecl",
+						"unknown repolint directive %q; known directives: allow, hotpath", name)
+				}
+			}
+		}
+	}
+	return nil, nil
+}

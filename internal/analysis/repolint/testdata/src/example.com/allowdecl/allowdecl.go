@@ -1,0 +1,23 @@
+// Package allowdecl is golden test data for the allowcheck analyzer:
+// the //repolint: directives themselves are validated, so a typo fails
+// the build instead of silently suppressing nothing.
+package allowdecl
+
+func directives() {
+	x := 1
+	_ = x //repolint:allow wallclck -- typo'd check name; want `unknown repolint check "wallclck"`
+	_ = x //repolint:allow -- names nothing; want `repolint:allow directive names no checks`
+	_ = x //repolint:frobnicate want `unknown repolint directive "frobnicate"`
+	//repolint:hotpath is dead here; want `only effective in the doc comment of a function declaration`
+	_ = x //repolint:allow mapiter -- a valid directive draws no diagnostic
+}
+
+// annotated carries the hotpath directive where it is live: in a
+// function declaration's doc comment. No diagnostic.
+//
+//repolint:hotpath
+func annotated() {}
+
+//repolint:allow allowdecl -- the validator's own diagnostics are suppressible too
+//repolint:bogus
+func suppressed() {}

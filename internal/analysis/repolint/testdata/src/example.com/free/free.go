@@ -1,0 +1,17 @@
+// Package free is golden test data for the simdeterminism analyzer's
+// scoping: its import path is outside the deterministic set, so the
+// very constructs flagged in repro/internal/sim are legal here and the
+// analyzer must stay silent.
+package free
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func unconstrained() {
+	_ = time.Now()
+	_ = rand.Intn(4)
+	_ = os.Getenv("HOME")
+}

@@ -1,0 +1,109 @@
+// Package hot is golden test data for the hotpathalloc analyzer:
+// allocating constructs inside //repolint:hotpath functions.
+package hot
+
+import "fmt"
+
+//repolint:hotpath
+func hotMapLit() map[int]bool {
+	return map[int]bool{} // want `alloc: map literal allocates in hot path hotMapLit`
+}
+
+//repolint:hotpath
+func hotMakeMap() map[int]bool {
+	return make(map[int]bool) // want `alloc: make\(map\) allocates in hot path hotMakeMap`
+}
+
+//repolint:hotpath
+func hotMakeChan() chan int {
+	return make(chan int, 1) // want `alloc: make\(chan\) allocates in hot path hotMakeChan`
+}
+
+//repolint:hotpath
+func hotClosure(x int) func() int {
+	f := func() int { return x } // want `alloc: closure literal in hot path hotClosure`
+	return f
+}
+
+//repolint:hotpath
+func hotFmt(x int) string {
+	return fmt.Sprint(x) // want `alloc: fmt\.Sprint allocates in hot path hotFmt`
+}
+
+//repolint:hotpath
+func hotAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `alloc: append into "out", declared in hot path hotAppend without capacity`
+	}
+	return out
+}
+
+// hotAppendSized pre-sizes the destination: append never reallocates on
+// the steady-state path, so no diagnostic.
+//
+//repolint:hotpath
+func hotAppendSized(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// hotAppendParam appends into a caller-provided slice: the caller sized
+// it, so no diagnostic.
+//
+//repolint:hotpath
+func hotAppendParam(dst []byte, x byte) []byte {
+	return append(dst, x)
+}
+
+//repolint:hotpath
+func hotBoxReturn(x int) any {
+	return x // want `alloc: int value boxed into .* interface allocates in hot path hotBoxReturn`
+}
+
+//repolint:hotpath
+func hotBoxAssign(x int) {
+	var i interface{}
+	i = x // want `alloc: int value boxed into .* interface allocates in hot path hotBoxAssign`
+	_ = i
+}
+
+//repolint:hotpath
+func hotBoxConvert(x int) any {
+	return any(x) // want `alloc: int value boxed into .* interface allocates in hot path hotBoxConvert`
+}
+
+type point struct{ x, y int }
+
+// hotPointer: a pointer fits in the interface word without copying the
+// value to the heap, so no diagnostic.
+//
+//repolint:hotpath
+func hotPointer(p *point) any {
+	return p
+}
+
+// cold is not annotated: the same constructs are legal here.
+func cold(xs []int) []int {
+	var out []int
+	m := map[int]bool{}
+	for _, x := range xs {
+		out = append(out, x)
+		m[x] = true
+	}
+	_ = fmt.Sprint(len(m))
+	return out
+}
+
+//repolint:hotpath
+func hotSuppressed(x int) any {
+	return x //repolint:allow alloc -- cold error path; golden test of the escape hatch
+}
+
+//repolint:hotpath
+func hotWrongAllow(x int) any {
+	return x //repolint:allow mapiter -- the wrong check must not mask this; want `alloc: int value boxed`
+}

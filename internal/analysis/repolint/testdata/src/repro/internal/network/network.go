@@ -1,0 +1,15 @@
+// Package network is a type stub for the poolalias golden tests: it
+// declares just the names the analyzer matches structurally.
+package network
+
+// NodeID identifies a node.
+type NodeID string
+
+// Slot is a dense node index.
+type Slot int32
+
+// Handler receives a datagram; payload aliases a pooled buffer.
+type Handler func(src NodeID, payload []byte)
+
+// SlotHandler is the dense-plane variant of Handler.
+type SlotHandler func(src Slot, payload []byte)

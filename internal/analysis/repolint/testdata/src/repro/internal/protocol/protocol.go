@@ -1,0 +1,8 @@
+// Package protocol is a type stub for the poolalias golden tests.
+package protocol
+
+// Addr addresses a protocol endpoint.
+type Addr struct{ Node string }
+
+// Receiver receives a PDU; pdu aliases a pooled buffer.
+type Receiver func(src Addr, pdu []byte)

@@ -1,0 +1,35 @@
+// Package sim is golden test data for the simdeterminism analyzer: it
+// carries the import path of a deterministic package, so wall-clock,
+// ambient-randomness, and environment reads must all be reported.
+package sim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func violations() {
+	_ = time.Now()               // want `wallclock: time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `wallclock: time\.Sleep reads the wall clock`
+	_ = rand.Intn(4)             // want `globalrand: math/rand\.Intn draws from ambient process randomness`
+	_ = os.Getenv("SEED")        // want `env: os\.Getenv reads ambient environment`
+	_, _ = os.LookupEnv("SEED")  // want `env: os\.LookupEnv reads ambient environment`
+}
+
+// legal exercises the constructs the analyzer must NOT flag: pure time
+// arithmetic, explicitly seeded generators, and methods on them.
+func legal(d time.Duration) time.Duration {
+	r := rand.New(rand.NewSource(42))
+	_ = r.Intn(4)
+	u := time.Unix(0, d.Nanoseconds())
+	return u.Sub(time.Unix(0, 0))
+}
+
+func suppressed() {
+	_ = time.Now() //repolint:allow wallclock -- golden test of the trailing escape hatch
+	//repolint:allow wallclock -- a standalone directive covers the next line
+	_ = time.Now()
+	_ = time.Now() // want `wallclock: time\.Now` -- two lines below the standalone directive: not covered
+	_ = time.Now() //repolint:allow env -- the wrong check name must not mask this; want `wallclock: time\.Now`
+}

@@ -105,12 +105,14 @@ type Encoder struct {
 }
 
 // field validates ordering and appends the precomputed key bytes.
+//
+//repolint:hotpath
 func (e *Encoder) field(name string) bool {
 	if e.err != nil {
 		return false
 	}
 	if e.next >= len(e.s.fields) || e.s.fields[e.next].name != name {
-		e.err = fmt.Errorf("codec: schema %q: field %q out of order or unknown (expect %q)",
+		e.err = fmt.Errorf("codec: schema %q: field %q out of order or unknown (expect %q)", //repolint:allow alloc -- cold: schema misuse is a programming error
 			e.s.name, name, e.expect())
 		return false
 	}
@@ -127,6 +129,8 @@ func (e *Encoder) expect() string {
 }
 
 // Uint appends an unsigned integer field.
+//
+//repolint:hotpath
 func (e *Encoder) Uint(name string, v uint64) {
 	if e.field(name) {
 		e.buf = append(e.buf, tagUint)
@@ -135,6 +139,8 @@ func (e *Encoder) Uint(name string, v uint64) {
 }
 
 // Int appends a signed integer field.
+//
+//repolint:hotpath
 func (e *Encoder) Int(name string, v int64) {
 	if e.field(name) {
 		e.buf = append(e.buf, tagInt)
@@ -143,6 +149,8 @@ func (e *Encoder) Int(name string, v int64) {
 }
 
 // Bool appends a boolean field.
+//
+//repolint:hotpath
 func (e *Encoder) Bool(name string, v bool) {
 	if e.field(name) {
 		if v {
@@ -154,6 +162,8 @@ func (e *Encoder) Bool(name string, v bool) {
 }
 
 // Float appends a float64 field.
+//
+//repolint:hotpath
 func (e *Encoder) Float(name string, v float64) {
 	if e.field(name) {
 		e.buf = appendFloat(e.buf, v)
@@ -161,6 +171,8 @@ func (e *Encoder) Float(name string, v float64) {
 }
 
 // Str appends a string field.
+//
+//repolint:hotpath
 func (e *Encoder) Str(name, v string) {
 	if e.field(name) {
 		e.buf = append(e.buf, tagString)
@@ -171,6 +183,8 @@ func (e *Encoder) Str(name, v string) {
 
 // Bytes appends a byte-slice field. A nil slice encodes as empty bytes,
 // exactly as EncodeMessage does.
+//
+//repolint:hotpath
 func (e *Encoder) Bytes(name string, v []byte) {
 	if e.field(name) {
 		e.buf = append(e.buf, tagBytes)
@@ -222,6 +236,8 @@ func (e *Encoder) Finish() ([]byte, error) {
 }
 
 // appendFloat appends the float tag and payload without boxing.
+//
+//repolint:hotpath
 func appendFloat(buf []byte, v float64) []byte {
 	buf = append(buf, tagFloat)
 	var tmp [8]byte

@@ -192,6 +192,8 @@ func (v *MsgView) Len() int { return v.fields }
 // lookup returns the raw TLV bytes of the named field. Keys are sorted
 // on the wire, so the scan stops early once past name. The structure was
 // validated by ParseMessage, so navigation errors cannot occur.
+//
+//repolint:hotpath
 func (v *MsgView) lookup(name string) []byte {
 	p := v.pairs
 	for i := 0; i < v.fields; i++ {
@@ -217,6 +219,8 @@ func (v *MsgView) lookup(name string) []byte {
 
 // compareKey orders a wire key against a field name without converting
 // either (bytes.Compare would need an allocating []byte(name)).
+//
+//repolint:hotpath
 func compareKey(key []byte, name string) int {
 	n := len(key)
 	if len(name) < n {
@@ -240,6 +244,8 @@ func compareKey(key []byte, name string) int {
 }
 
 // Uint returns a tagUint field.
+//
+//repolint:hotpath
 func (v *MsgView) Uint(name string) (uint64, bool) {
 	raw := v.lookup(name)
 	if len(raw) == 0 || raw[0] != tagUint {
@@ -250,6 +256,8 @@ func (v *MsgView) Uint(name string) (uint64, bool) {
 }
 
 // Int returns a tagInt field.
+//
+//repolint:hotpath
 func (v *MsgView) Int(name string) (int64, bool) {
 	raw := v.lookup(name)
 	if len(raw) == 0 || raw[0] != tagInt {
@@ -260,6 +268,8 @@ func (v *MsgView) Int(name string) (int64, bool) {
 }
 
 // Bool returns a boolean field.
+//
+//repolint:hotpath
 func (v *MsgView) Bool(name string) (val, ok bool) {
 	raw := v.lookup(name)
 	if len(raw) == 0 {
@@ -275,6 +285,8 @@ func (v *MsgView) Bool(name string) (val, ok bool) {
 }
 
 // Float returns a tagFloat field.
+//
+//repolint:hotpath
 func (v *MsgView) Float(name string) (float64, bool) {
 	raw := v.lookup(name)
 	if len(raw) != 9 || raw[0] != tagFloat {
@@ -284,6 +296,8 @@ func (v *MsgView) Float(name string) (float64, bool) {
 }
 
 // Str returns the payload of a string field, aliasing the input buffer.
+//
+//repolint:hotpath
 func (v *MsgView) Str(name string) ([]byte, bool) {
 	raw := v.lookup(name)
 	if len(raw) == 0 || raw[0] != tagString {
@@ -294,6 +308,8 @@ func (v *MsgView) Str(name string) ([]byte, bool) {
 }
 
 // Bytes returns the payload of a bytes field, aliasing the input buffer.
+//
+//repolint:hotpath
 func (v *MsgView) Bytes(name string) ([]byte, bool) {
 	raw := v.lookup(name)
 	if len(raw) == 0 || raw[0] != tagBytes {
@@ -305,6 +321,8 @@ func (v *MsgView) Bytes(name string) ([]byte, bool) {
 
 // Raw returns the complete TLV encoding of the named field's value,
 // aliasing the input buffer — ready to splice into an Encoder with Raw.
+//
+//repolint:hotpath
 func (v *MsgView) Raw(name string) ([]byte, bool) {
 	raw := v.lookup(name)
 	return raw, raw != nil

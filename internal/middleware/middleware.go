@@ -402,6 +402,8 @@ func (p *Platform) Resolve(ref ObjRef) (Addr, bool) {
 // may live in a pooled scratch buffer the caller recycles on return.
 // When both endpoint ids are resolved and the transport is indexed, the
 // send rides the dense plane.
+//
+//repolint:hotpath
 func (p *Platform) sendData(from Addr, fromLow int32, to Addr, toLow int32, data []byte) error {
 	p.mu.Lock()
 	p.stats.WireMessages++
@@ -414,7 +416,7 @@ func (p *Platform) sendData(from Addr, fromLow int32, to Addr, toLow int32, data
 		err = p.transport.Send(from, to, data)
 	}
 	if err != nil {
-		return fmt.Errorf("middleware: wire send %s→%s: %w", from, to, err)
+		return fmt.Errorf("middleware: wire send %s→%s: %w", from, to, err) //repolint:allow alloc -- cold: transport refused the send
 	}
 	return nil
 }
@@ -427,6 +429,8 @@ func (p *Platform) sendData(from Addr, fromLow int32, to Addr, toLow int32, data
 // a single kernel lock); otherwise it degrades to the name-addressed
 // MultiSender or a Send loop with identical semantics. Wire counters
 // advance exactly as if sendData were called once per destination.
+//
+//repolint:hotpath
 func (p *Platform) sendMultiData(from Addr, fromLow int32, tos []Addr, toLows []int32, allLow bool, data []byte) error {
 	if len(tos) == 0 {
 		return nil
@@ -437,20 +441,20 @@ func (p *Platform) sendMultiData(from Addr, fromLow int32, tos []Addr, toLows []
 	p.mu.Unlock()
 	if p.itransport != nil && fromLow >= 0 && allLow {
 		if err := p.itransport.SendMultiIndexed(fromLow, toLows, data); err != nil {
-			return fmt.Errorf("middleware: wire fan-out from %s: %w", from, err)
+			return fmt.Errorf("middleware: wire fan-out from %s: %w", from, err) //repolint:allow alloc -- cold: transport refused the fan-out
 		}
 		return nil
 	}
 	if ms, ok := p.transport.(protocol.MultiSender); ok {
 		if err := ms.SendMulti(from, tos, data); err != nil {
-			return fmt.Errorf("middleware: wire fan-out from %s: %w", from, err)
+			return fmt.Errorf("middleware: wire fan-out from %s: %w", from, err) //repolint:allow alloc -- cold: transport refused the fan-out
 		}
 		return nil
 	}
 	var firstErr error
 	for _, to := range tos {
 		if err := p.transport.Send(from, to, data); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("middleware: wire send %s→%s: %w", from, to, err)
+			firstErr = fmt.Errorf("middleware: wire send %s→%s: %w", from, to, err) //repolint:allow alloc -- cold: transport refused the send
 		}
 	}
 	return firstErr

@@ -476,14 +476,16 @@ func (n *Network) Send(src, dst NodeID, payload []byte) error {
 // SendSlot is the dense-plane Send: both endpoints are named by slot and
 // the whole path — link lookup, loss/jitter draws, delivery scheduling —
 // performs no map lookups and no allocations in steady state.
+//
+//repolint:hotpath
 func (n *Network) SendSlot(src, dst Slot, payload []byte) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if int(src) >= len(n.ids) || src < 0 {
-		return fmt.Errorf("%w: source %d", ErrBadSlot, src)
+		return fmt.Errorf("%w: source %d", ErrBadSlot, src) //repolint:allow alloc -- cold: caller passed an invalid slot
 	}
 	if int(dst) >= len(n.ids) || dst < 0 {
-		return fmt.Errorf("%w: destination %d", ErrBadSlot, dst)
+		return fmt.Errorf("%w: destination %d", ErrBadSlot, dst) //repolint:allow alloc -- cold: caller passed an invalid slot
 	}
 	var batch [2]sim.BatchEntry
 	entries, err := n.transmitLocked(n.kernel.Rand(), src, dst, payload, batch[:0])
@@ -533,11 +535,13 @@ func (n *Network) SendMulti(src NodeID, dsts []NodeID, payload []byte) error {
 // SendMultiSlot is the dense-plane SendMulti: the fan-out list is slot
 // addressed and the batch scratch is reused across calls, so steady-state
 // fan-out allocates nothing.
+//
+//repolint:hotpath
 func (n *Network) SendMultiSlot(src Slot, dsts []Slot, payload []byte) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if int(src) >= len(n.ids) || src < 0 {
-		return fmt.Errorf("%w: source %d", ErrBadSlot, src)
+		return fmt.Errorf("%w: source %d", ErrBadSlot, src) //repolint:allow alloc -- cold: caller passed an invalid slot
 	}
 	var firstErr error
 	rng := n.kernel.Rand()
@@ -545,7 +549,7 @@ func (n *Network) SendMultiSlot(src Slot, dsts []Slot, payload []byte) error {
 	for _, dst := range dsts {
 		if int(dst) >= len(n.ids) || dst < 0 {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("%w: destination %d", ErrBadSlot, dst)
+				firstErr = fmt.Errorf("%w: destination %d", ErrBadSlot, dst) //repolint:allow alloc -- cold: caller passed an invalid slot
 			}
 			continue
 		}
@@ -565,6 +569,8 @@ func (n *Network) SendMultiSlot(src Slot, dsts []Slot, payload []byte) error {
 // to entries. It must be called with n.mu held, and consumes kernel
 // randomness in a fixed order (loss, jitter, duplicate, duplicate jitter)
 // to keep traces deterministic.
+//
+//repolint:hotpath
 func (n *Network) transmitLocked(rng *rand.Rand, src, dst Slot, payload []byte, entries []sim.BatchEntry) ([]sim.BatchEntry, error) {
 	cell := &n.grid[int(src)*n.gridW+int(dst)]
 	cfg := &n.defaultLink
@@ -572,7 +578,7 @@ func (n *Network) transmitLocked(rng *rand.Rand, src, dst Slot, payload []byte, 
 		cfg = &cell.cfg
 	}
 	if cfg.MTU > 0 && len(payload) > cfg.MTU {
-		return entries, fmt.Errorf("%w: %d > %d (link %s→%s)", ErrTooLarge, len(payload), cfg.MTU, n.ids[src], n.ids[dst])
+		return entries, fmt.Errorf("%w: %d > %d (link %s→%s)", ErrTooLarge, len(payload), cfg.MTU, n.ids[src], n.ids[dst]) //repolint:allow alloc -- cold: oversized datagram is rejected, not transmitted
 	}
 	n.stats.Sent++
 	n.stats.BytesSent += uint64(len(payload))
@@ -599,6 +605,8 @@ func (n *Network) transmitLocked(rng *rand.Rand, src, dst Slot, payload []byte, 
 // one datagram copy from the pooled delivery free list. It must be
 // called with n.mu held. The pooled buffer is recycled as soon as the
 // handler returns (see Handler's aliasing contract).
+//
+//repolint:hotpath
 func (n *Network) deliveryLocked(rng *rand.Rand, src, dst Slot, cfg *LinkConfig, buf *codec.Buffer) sim.BatchEntry {
 	delay := cfg.Latency
 	if cfg.Jitter > 0 {

@@ -123,9 +123,9 @@ func Sweep(scenarios []Scenario, opts Options) (*SweepReport, error) {
 // failure so one bad scenario cannot take the whole sweep down.
 func runOne(sc Scenario, baseSeed int64) (res ScenarioResult) {
 	res = ScenarioResult{ID: sc.ID, Seed: DeriveSeed(baseSeed, sc.ID), Params: sc.Params}
-	start := time.Now()
+	start := time.Now() //repolint:allow wallclock -- wall-clock telemetry only; excluded from deterministic report output
 	defer func() {
-		res.WallNanos = time.Since(start).Nanoseconds()
+		res.WallNanos = time.Since(start).Nanoseconds() //repolint:allow wallclock -- wall-clock telemetry only; excluded from deterministic report output
 		if p := recover(); p != nil {
 			res.Err = fmt.Sprintf("panic: %v", p)
 		}

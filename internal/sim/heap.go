@@ -26,6 +26,7 @@ func (h *timerHeap) len() int { return len(h.a) }
 // min returns the earliest timer. It must not be called on an empty heap.
 func (h *timerHeap) min() *Timer { return h.a[0] }
 
+//repolint:hotpath
 func (h *timerHeap) push(t *Timer) {
 	t.index = int32(len(h.a))
 	h.a = append(h.a, t)
@@ -33,6 +34,8 @@ func (h *timerHeap) push(t *Timer) {
 }
 
 // popMin removes and returns the earliest timer.
+//
+//repolint:hotpath
 func (h *timerHeap) popMin() *Timer {
 	t := h.a[0]
 	n := len(h.a) - 1
@@ -49,6 +52,8 @@ func (h *timerHeap) popMin() *Timer {
 }
 
 // remove deletes the timer at heap index i.
+//
+//repolint:hotpath
 func (h *timerHeap) remove(i int) *Timer {
 	t := h.a[i]
 	n := len(h.a) - 1
@@ -66,6 +71,7 @@ func (h *timerHeap) remove(i int) *Timer {
 	return t
 }
 
+//repolint:hotpath
 func (h *timerHeap) siftUp(i int) {
 	t := h.a[i]
 	for i > 0 {
@@ -82,6 +88,8 @@ func (h *timerHeap) siftUp(i int) {
 }
 
 // siftDown reports whether the element moved.
+//
+//repolint:hotpath
 func (h *timerHeap) siftDown(i int) bool {
 	t := h.a[i]
 	n := len(h.a)

@@ -282,6 +282,8 @@ func (k *Kernel) ScheduleAt(at time.Duration, fn func()) *Timer {
 // ScheduleFunc is the fire-and-forget fast path: like Schedule, but it
 // returns no handle, which lets the kernel recycle the timer through its
 // free list. Steady-state ScheduleFunc+Run does not allocate.
+//
+//repolint:hotpath
 func (k *Kernel) ScheduleFunc(delay time.Duration, fn func()) {
 	if delay < 0 {
 		delay = 0
@@ -312,6 +314,8 @@ func (k *Kernel) ScheduleFuncRef(delay time.Duration, fn func()) TimerRef {
 // ScheduleFunc it returns no handles and recycles timers. It is the entry
 // point used by the simulated network for link delivery and by the
 // middleware platform for pub/sub fan-out.
+//
+//repolint:hotpath
 func (k *Kernel) ScheduleBatch(entries []BatchEntry) {
 	if len(entries) == 0 {
 		return
@@ -327,6 +331,7 @@ func (k *Kernel) ScheduleBatch(entries []BatchEntry) {
 	}
 }
 
+//repolint:hotpath
 func (k *Kernel) scheduleLocked(at time.Duration, fn func(), escaped bool) *Timer {
 	if fn == nil {
 		panic("sim: Schedule called with nil function")
@@ -352,6 +357,8 @@ func (k *Kernel) scheduleLocked(at time.Duration, fn func(), escaped bool) *Time
 // recycleBatchLocked returns executed (or cancelled) non-escaped timers of
 // the previous batch to the free list. Timers that were pushed back into
 // the heap by an aborted batch are statePending and skipped.
+//
+//repolint:hotpath
 func (k *Kernel) recycleBatchLocked() {
 	for i, t := range k.batch {
 		if !t.escaped && t.state.Load() == stateDone {
@@ -370,6 +377,8 @@ func (k *Kernel) Stop() { k.stopped.Store(true) }
 // the event's instant. It reports whether an event was executed. Like the
 // Run variants, Step honours a preceding Stop: the stop flag is consumed
 // and no event runs.
+//
+//repolint:hotpath
 func (k *Kernel) Step() bool {
 	k.mu.Lock()
 	k.recycleBatchLocked()

@@ -79,6 +79,8 @@ func (p *Port[Req, Resp]) Op() string { return p.op }
 
 // getState pops (or creates) a pooled call state: the single slot first,
 // the overflow list second, a fresh allocation last.
+//
+//repolint:hotpath
 func (p *Port[Req, Resp]) getState() *callState[Req, Resp] {
 	if s := p.slot.Swap(nil); s != nil {
 		return s
@@ -101,6 +103,8 @@ func (p *Port[Req, Resp]) getState() *callState[Req, Resp] {
 // putState recycles a call state whose platform continuation has
 // resolved (replied, timed out at the platform, or failed to send). The
 // caller must have reset cont/timer/deadline/fired already.
+//
+//repolint:hotpath
 func (p *Port[Req, Resp]) putState(s *callState[Req, Resp]) {
 	if p.slot.CompareAndSwap(nil, s) {
 		return
@@ -117,6 +121,8 @@ func (p *Port[Req, Resp]) putState(s *callState[Req, Resp]) {
 // ErrRemote on a remote application error. A synchronous failure (veto,
 // unknown target, unsupported pattern, transport refusal) is returned by
 // Call itself and cont does not run.
+//
+//repolint:hotpath
 func (p *Port[Req, Resp]) Call(from middleware.Addr, req Req, cont func(Resp, error)) error {
 	args := p.enc(req)
 	if err := p.cfg.observeOut(p.b.kernel, args); err != nil {
