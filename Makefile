@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-smoke bench-kernel bench-codec bench-path bench-svc bench-baseline bench-baseline-codec bench-baseline-path bench-baseline-svc bench-regression sweep sweep-large profile fig fuzz cover fmt vet repolint lint check clean help
+.PHONY: all build test bench bench-smoke bench-kernel bench-codec bench-path bench-svc bench-shard bench-baseline bench-baseline-codec bench-baseline-path bench-baseline-svc bench-baseline-shard bench-regression sweep sweep-large profile fig fuzz cover fmt vet repolint lint check clean help
 
 all: check
 
@@ -35,6 +35,11 @@ bench-path:
 bench-svc:
 	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/svc
 
+# The sharded-engine suite (group façade overhead at K=1, boundary
+# protocol cost at K>1) at the CI gate's repetition count.
+bench-shard:
+	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/sim/shard
+
 # Refresh the committed kernel benchmark baseline (commit the result).
 bench-baseline:
 	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/sim | \
@@ -58,6 +63,12 @@ bench-baseline-svc:
 		$(GO) run ./cmd/benchcmp -record -out BENCH_svc.json \
 			-note "Refresh with: make bench-baseline-svc (see README, Performance & CI gates)."
 
+# Refresh the committed sharded-engine benchmark baseline (commit the result).
+bench-baseline-shard:
+	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/sim/shard | \
+		$(GO) run ./cmd/benchcmp -record -out BENCH_shard.json \
+			-note "Refresh with: make bench-baseline-shard (see README, Performance & CI gates)."
+
 # The CI bench-regression gates, locally.
 bench-regression:
 	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/sim | \
@@ -68,6 +79,8 @@ bench-regression:
 		$(GO) run ./cmd/benchcmp -baseline BENCH_path.json -threshold 1.20 -normalize Calibrate
 	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/svc | \
 		$(GO) run ./cmd/benchcmp -baseline BENCH_svc.json -threshold 1.20 -normalize Calibrate
+	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/sim/shard | \
+		$(GO) run ./cmd/benchcmp -baseline BENCH_shard.json -threshold 1.20 -normalize Calibrate
 
 # The CI fuzz job, locally (bounded).
 fuzz:
@@ -135,7 +148,7 @@ help:
 	@echo "repolint         build and run the custom analyzer suite over ./..."
 	@echo "test             go test ./..."
 	@echo "bench-smoke      one iteration of every benchmark"
-	@echo "bench-regression compare kernel/codec/path/svc benches against baselines"
+	@echo "bench-regression compare kernel/codec/path/svc/shard benches against baselines"
 	@echo "bench-baseline*  refresh a committed benchmark baseline"
 	@echo "sweep            the 120-scenario cross-product sweep"
 	@echo "sweep-large      the large-client fan-out band"

@@ -9,12 +9,15 @@
 //	sweep -solutions mw-token,proto-token  # restrict the solution dimension
 //	sweep -loss 0,0.05 -subs 4,16          # restrict swept dimensions
 //	sweep -clients 64,128,256              # large-client band (overrides -subs)
+//	sweep -shards 4                        # sharded engine; byte-identical output
 //	sweep -format csv -out sweep.csv       # machine-readable output
 //	sweep -cpuprofile cpu.pprof            # profile the sweep (see make profile)
 //
 // The default matrix is all 10 solutions × loss {0, 1, 5, 10}% × clients
-// {2, 8, 32}. Every scenario's seed is derived from the base seed and the
-// scenario ID, so the report is bit-identical for any -parallel value.
+// {2, 8, 32} (runner.DefaultBand). Every scenario's seed is derived from
+// the base seed and the scenario ID, so the report is bit-identical for
+// any -parallel value — and, because -shards only selects the execution
+// engine, for any shard count.
 // Table output additionally shows per-scenario wall time (never part of
 // the machine-readable renderings).
 package main
@@ -44,6 +47,7 @@ func run() int {
 	resources := flag.String("resources", "2", "comma-separated resource counts")
 	loss := flag.String("loss", "0,0.01,0.05,0.1", "comma-separated link loss rates (fractions)")
 	cycles := flag.Int("cycles", 6, "acquire/hold/release cycles per subscriber")
+	shards := flag.Int("shards", 0, "sim kernels per scenario (0 or 1 = single kernel; results are identical for any value)")
 	seed := flag.Int64("seed", 42, "base sweep seed (per-scenario seeds are derived from it)")
 	parallel := flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
 	format := flag.String("format", "table", "output format: table, json, or csv")
@@ -61,7 +65,11 @@ func run() int {
 		return 0
 	}
 
-	matrix := runner.Matrix{Cycles: *cycles}
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "sweep: -shards: value %d is negative\n", *shards)
+		return 2
+	}
+	matrix := runner.Matrix{Cycles: *cycles, Shards: *shards}
 	if sols := strings.TrimSpace(*solutions); sols != "all" {
 		seen := make(map[string]struct{})
 		for _, s := range strings.Split(sols, ",") {

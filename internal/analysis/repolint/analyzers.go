@@ -10,6 +10,7 @@ func All() []*analysis.Analyzer {
 		Mapiter,
 		Poolalias,
 		Hotpathalloc,
+		Legacycodec,
 		Allowcheck,
 	}
 }

@@ -1,0 +1,40 @@
+// Package legacy is golden test data for the legacycodec analyzer:
+// calls to the deprecated reflective codec entry points next to the
+// modern planes that replace them, function-value references, and an
+// //repolint:allow suppression.
+package legacy
+
+import (
+	"repro/internal/codec"
+)
+
+func encodeLegacy(v codec.Value) ([]byte, error) {
+	return codec.Encode(v) // want `legacycodec: codec.Encode is deprecated; encode through a compiled schema`
+}
+
+func decodeLegacy(data []byte) (codec.Value, error) {
+	return codec.Decode(data) // want `legacycodec: codec.Decode is deprecated; read through the zero-copy view plane`
+}
+
+func parseLegacy(data []byte) (codec.Message, error) {
+	return codec.DecodeMessage(data) // want `legacycodec: codec.DecodeMessage is deprecated; call codec.ParseMessage`
+}
+
+// funcValue proves references are flagged, not just direct calls: a
+// stored function value escapes the same deprecated surface.
+var funcValue = codec.DecodeMessage // want `legacycodec: codec.DecodeMessage is deprecated`
+
+// modernPlanes exercises the nearest true negatives: the streaming and
+// buffer-reuse primitives the modern planes are built from draw no
+// diagnostics.
+func modernPlanes(buf, data []byte, v codec.Value) {
+	buf, _ = codec.Append(buf, v)
+	_, _, _ = codec.DecodePrefix(data)
+	_, _ = codec.ParseMessage(buf)
+}
+
+// allowed shows the suppression path for the one legitimate production
+// use (reflective tooling that genuinely needs dynamic values).
+func allowed(data []byte) (codec.Value, error) {
+	return codec.Decode(data) //repolint:allow legacycodec -- reflective tooling needs the dynamic tree
+}

@@ -74,6 +74,14 @@ func Append(buf []byte, v Value) ([]byte, error) {
 }
 
 // Encode returns the canonical encoding of v.
+//
+// Deprecated: Encode allocates a fresh buffer and walks a dynamically
+// typed Value tree. New code should encode through a compiled schema
+// (CompileSchema + (*Schema).Encoder), which validates field names and
+// order at compile time and reuses pooled buffers; for one-off dynamic
+// values, Append into a caller-managed buffer. Kept for the reflective
+// tooling surface (LTS exploration, test fixtures); repolint flags new
+// uses outside internal/codec.
 func Encode(v Value) ([]byte, error) {
 	return Append(nil, v)
 }
@@ -177,6 +185,12 @@ func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 // Decode decodes exactly one value from data and fails with ErrTrailing if
 // bytes remain. Integers decode as int64, unsigned integers as uint64.
+//
+// Deprecated: Decode materializes the whole value tree on the heap. New
+// code should read wire bytes through the zero-copy view plane
+// (ParseMessage / MsgView), which also enforces canonical key order;
+// DecodePrefix remains for streaming callers. Kept for the reflective
+// tooling surface; repolint flags new uses outside internal/codec.
 func Decode(data []byte) (Value, error) {
 	v, n, err := decodeValue(data, 0)
 	if err != nil {

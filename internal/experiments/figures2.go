@@ -33,7 +33,7 @@ func Fig2ProtocolParadigm(seed int64) (*Report, error) {
 	}
 	reliable := protocol.NewReliableDatagram(kernel, protocol.NewUnreliableDatagram(net), protocol.ReliableDatagramConfig{})
 	env := &floorcontrol.Env{
-		Kernel:      kernel,
+		Time:        kernel,
 		Net:         net,
 		Observer:    observer,
 		Subscribers: floorcontrol.SubscriberNames(3),

@@ -22,7 +22,7 @@ func buildProtoEnv(t *testing.T, seed int64, subs, resources int) (*sim.Kernel, 
 		t.Fatal(err)
 	}
 	env := &Env{
-		Kernel:        kernel,
+		Time:          kernel,
 		Net:           net,
 		Observer:      observer,
 		Subscribers:   SubscriberNames(subs),

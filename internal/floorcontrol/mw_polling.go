@@ -163,7 +163,7 @@ func (p *mwPollingPart) poll(res string, done func()) {
 				done()
 				return
 			}
-			p.env.Kernel.Schedule(p.env.PollInterval, func() { p.poll(res, done) })
+			p.env.Time.ScheduleFunc(p.env.PollInterval, func() { p.poll(res, done) })
 		})
 	if err != nil {
 		panic(fmt.Sprintf("floorcontrol: is_available invoke from %q: %v", p.sub, err))

@@ -92,7 +92,7 @@ func (s *MWToken) Build(env *Env) (map[string]AppPart, error) {
 	}
 	// Inject the initial token at the first subscriber.
 	initial := append([]string(nil), env.Resources...)
-	env.Kernel.Schedule(0, func() { ring[0].onToken(initial) })
+	env.Time.ScheduleFunc(0, func() { ring[0].onToken(initial) })
 	return parts, nil
 }
 
@@ -157,7 +157,7 @@ func (p *mwTokenPart) onToken(avail []string) {
 		granted()
 	}
 	forward := append([]string(nil), avail...)
-	p.env.Kernel.Schedule(p.env.TokenHopDelay, func() {
+	p.env.Time.ScheduleFunc(p.env.TokenHopDelay, func() {
 		err := p.pass.Call(middleware.Addr(p.sub), tokenArgs{Available: forward}, nil)
 		if err != nil {
 			panic(fmt.Sprintf("floorcontrol: pass from %q to %q: %v", p.sub, p.next, err))

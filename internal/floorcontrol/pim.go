@@ -210,7 +210,7 @@ func (s *MDASolution) Build(env *Env) (map[string]AppPart, error) {
 	for i, sub := range env.Subscribers {
 		saps[i] = SubscriberSAP(sub)
 	}
-	dep, err := mda.Deploy(env.Kernel, env.Lower, PIM(env.Resources), s.Target, mda.Plan{SAPs: saps})
+	dep, err := mda.Deploy(env.Time, env.Lower, PIM(env.Resources), s.Target, mda.Plan{SAPs: saps})
 	if err != nil {
 		return nil, fmt.Errorf("floorcontrol: deploy %s: %w", s.Name(), err)
 	}

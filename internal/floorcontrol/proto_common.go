@@ -71,7 +71,7 @@ func buildProtocolSolution(env *Env, name string, install func(layer *protocol.L
 	if env.Lower == nil {
 		return nil, fmt.Errorf("floorcontrol: %s requires a lower-level service", name)
 	}
-	layer := protocol.NewLayer(name, env.Kernel, env.Lower)
+	layer := protocol.NewLayer(name, env.Time, env.Lower)
 	env.Layer = layer
 	if err := install(layer); err != nil {
 		return nil, err

@@ -53,7 +53,9 @@ type AppPart interface {
 // Env is the substrate a solution builds on. The workload driver prepares
 // it; Build wires components or protocol entities into it.
 type Env struct {
-	Kernel   *sim.Kernel
+	// Time is the engine the whole stack schedules on — a *sim.Kernel
+	// for single-threaded runs, a shard.Group for sharded ones.
+	Time     sim.Timebase
 	Net      *network.Network
 	Observer *core.Observer
 

@@ -29,7 +29,9 @@ func AllSolutionNames() []string {
 // different workloads get distinct IDs (middleware profiles are keyed by
 // Profile.Name; two custom profiles sharing a name collide). The Seed is
 // deliberately excluded: the sweep runner derives each scenario's seed
-// from this ID.
+// from this ID. Shards is excluded too — it selects the execution
+// engine, not the workload, and results are byte-identical for every
+// value, so folding it in would needlessly fork derived seeds.
 func (c Config) ScenarioID() string {
 	d := c
 	d.applyDefaults()

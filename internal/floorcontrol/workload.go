@@ -11,6 +11,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/protocol"
 	"repro/internal/sim"
+	"repro/internal/sim/shard"
 )
 
 // Config parameterizes one workload execution. Zero fields take the
@@ -44,6 +45,12 @@ type Config struct {
 	// solutions; defaults to ProfileCORBALike (the paper's "component
 	// middleware that supports remote invocation").
 	Profile middleware.Profile
+	// Shards selects the execution engine: 0 or 1 runs the scenario on a
+	// single sim kernel, K>1 shards the network across K kernels behind
+	// the same Timebase seam (internal/sim/shard). Shards is an execution
+	// parameter, not part of scenario identity: results are byte-identical
+	// for every K, so it never appears in scenario IDs or sweep output.
+	Shards int
 	// RawTransport, when true, runs the solution's substrate directly over
 	// the unreliable datagram service instead of the reliable-datagram
 	// layer. It is the Figure 8 experiment: swapping the interaction
@@ -163,18 +170,21 @@ func RunWorkload(cfg Config) (*Result, error) {
 func RunWorkloadWith(sol Solution, cfg Config) (*Result, error) {
 	cfg.applyDefaults()
 
-	kernel := sim.NewKernel(sim.WithSeed(cfg.Seed))
-	net := network.New(kernel, network.WithDefaultLink(network.LinkConfig{
+	var engine sim.Engine = sim.NewKernel(sim.WithSeed(cfg.Seed))
+	if cfg.Shards > 1 {
+		engine = shard.NewGroup(cfg.Shards, shard.WithSeed(cfg.Seed))
+	}
+	net := network.New(engine, network.WithDefaultLink(network.LinkConfig{
 		Latency:  cfg.Latency,
 		LossRate: cfg.LossRate,
 	}))
-	observer, err := core.NewObserver(Spec(), kernel)
+	observer, err := core.NewObserver(Spec(), engine)
 	if err != nil {
 		return nil, fmt.Errorf("floorcontrol: observer: %w", err)
 	}
 
 	env := &Env{
-		Kernel:        kernel,
+		Time:          engine,
 		Net:           net,
 		Observer:      observer,
 		Subscribers:   SubscriberNames(cfg.Subscribers),
@@ -182,13 +192,13 @@ func RunWorkloadWith(sol Solution, cfg Config) (*Result, error) {
 		PollInterval:  cfg.PollInterval,
 		TokenHopDelay: cfg.TokenHopDelay,
 	}
-	var transport protocol.LowerService = protocol.NewReliableDatagram(kernel, protocol.NewUnreliableDatagram(net), protocol.ReliableDatagramConfig{})
+	var transport protocol.LowerService = protocol.NewReliableDatagram(engine, protocol.NewUnreliableDatagram(net), protocol.ReliableDatagramConfig{})
 	if cfg.RawTransport {
 		transport = protocol.NewUnreliableDatagram(net)
 	}
 	switch sol.Paradigm() {
 	case ParadigmMiddleware:
-		env.Platform = middleware.New(kernel, transport, cfg.Profile, "mw-broker")
+		env.Platform = middleware.New(engine, transport, cfg.Profile, "mw-broker")
 	case ParadigmProtocol, ParadigmMDA:
 		env.Lower = transport
 	}
@@ -216,25 +226,25 @@ func RunWorkloadWith(sol Solution, cfg Config) (*Result, error) {
 		if d <= 0 {
 			return 0
 		}
-		return d/2 + time.Duration(kernel.Rand().Int63n(int64(d)))
+		return d/2 + time.Duration(engine.Rand().Int63n(int64(d)))
 	}
 
 	remaining := res.Expected
 	var runCycle func(sub string, part AppPart, cycle int)
 	runCycle = func(sub string, part AppPart, cycle int) {
-		kernel.ScheduleFunc(jitter(cfg.ThinkTime), func() {
-			target := env.Resources[kernel.Rand().Intn(len(env.Resources))]
-			start := kernel.Now()
+		engine.ScheduleFunc(jitter(cfg.ThinkTime), func() {
+			target := env.Resources[engine.Rand().Intn(len(env.Resources))]
+			start := engine.Now()
 			part.Acquire(target, func() {
-				elapsed := kernel.Now() - start
+				elapsed := engine.Now() - start
 				res.AcquireLatency.Add(elapsed)
 				res.LatencyBySubscriber[sub].Add(elapsed)
-				kernel.ScheduleFunc(jitter(cfg.HoldTime), func() {
+				engine.ScheduleFunc(jitter(cfg.HoldTime), func() {
 					part.Release(target)
 					res.Completed++
 					remaining--
 					if remaining == 0 {
-						kernel.Stop()
+						engine.Stop()
 					} else if cycle+1 < cfg.Cycles {
 						runCycle(sub, part, cycle+1)
 					}
@@ -249,14 +259,14 @@ func RunWorkloadWith(sol Solution, cfg Config) (*Result, error) {
 		}
 		runCycle(sub, part, 0)
 	}
-	kernel.ScheduleFunc(cfg.Deadline, func() { kernel.Stop() })
+	engine.ScheduleFunc(cfg.Deadline, func() { engine.Stop() })
 
-	if _, err := kernel.Run(); err != nil && !errors.Is(err, sim.ErrStopped) {
+	if _, err := engine.Run(); err != nil && !errors.Is(err, sim.ErrStopped) {
 		return nil, fmt.Errorf("floorcontrol: run %s: %w", sol.Name(), err)
 	}
 
-	res.VirtualDuration = kernel.Now()
-	res.KernelEvents = kernel.Executed()
+	res.VirtualDuration = engine.Now()
+	res.KernelEvents = engine.Executed()
 	st := net.Stats()
 	res.NetMessages = st.Sent
 	res.NetBytes = st.BytesSent

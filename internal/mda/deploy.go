@@ -65,9 +65,11 @@ func (c *LogicContext) DeliverToUser(primitive string, params codec.Record) {
 	c.dep.deliverToUser(c.self, primitive, params)
 }
 
-// Schedule runs fn after a virtual delay.
-func (c *LogicContext) Schedule(d time.Duration, fn func()) *sim.Timer {
-	return c.dep.kernel.Schedule(d, fn)
+// Schedule runs fn after a virtual delay. The returned ref cancels
+// without pinning a timer allocation; callers that do not need to
+// cancel may discard it.
+func (c *LogicContext) Schedule(d time.Duration, fn func()) sim.TimerRef {
+	return c.dep.tb.ScheduleFuncRef(d, fn)
 }
 
 // messaging is the realized async-message concept: how directed messages
@@ -84,7 +86,7 @@ type messaging interface {
 // interactions of the deployed logic flow through the typed svc port
 // binding — the raw platform surface stays an SPI underneath.
 type Deployment struct {
-	kernel      *sim.Kernel
+	tb          sim.Timebase
 	platform    *middleware.Platform
 	ports       *svc.Binding
 	realization Realization
@@ -156,9 +158,9 @@ func (d *Deployment) onDelivered(to ComponentID, from ComponentID, msg codec.Mes
 // Deploy realizes pim on the target platform over the given transport and
 // instantiates its logic: milestones MilestoneAbstractRealization and
 // MilestonePSI made executable.
-func Deploy(kernel *sim.Kernel, transport protocol.LowerService, pim *PIM, target ConcretePlatform, plan Plan) (*Deployment, error) {
-	if kernel == nil || transport == nil {
-		return nil, errors.New("mda: Deploy requires kernel and transport")
+func Deploy(tb sim.Timebase, transport protocol.LowerService, pim *PIM, target ConcretePlatform, plan Plan) (*Deployment, error) {
+	if tb == nil || transport == nil {
+		return nil, errors.New("mda: Deploy requires a timebase and transport")
 	}
 	_, realization, err := PlanTrajectory(pim, target)
 	if err != nil {
@@ -171,7 +173,7 @@ func Deploy(kernel *sim.Kernel, transport protocol.LowerService, pim *PIM, targe
 	if err := validateLogic(logic, plan); err != nil {
 		return nil, err
 	}
-	platform := middleware.New(kernel, transport, target.Profile, "mda-broker")
+	platform := middleware.New(tb, transport, target.Profile, "mda-broker")
 	service, err := svc.New(pim.Service)
 	if err != nil {
 		return nil, fmt.Errorf("mda: declare service %q: %w", pim.Service.Name, err)
@@ -181,7 +183,7 @@ func Deploy(kernel *sim.Kernel, transport protocol.LowerService, pim *PIM, targe
 		return nil, fmt.Errorf("mda: bind service %q: %w", pim.Service.Name, err)
 	}
 	d := &Deployment{
-		kernel:      kernel,
+		tb:          tb,
 		platform:    platform,
 		ports:       binding,
 		realization: realization,

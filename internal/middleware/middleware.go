@@ -200,7 +200,7 @@ type registration struct {
 // pendingCall tracks an outstanding RPC at the caller side.
 type pendingCall struct {
 	cont  func(codec.Record, error)
-	timer *sim.Timer
+	timer sim.TimerRef // call timeout; zero ref = none armed
 }
 
 // queueConsumer is one queue subscription, resolved to a dense node id
@@ -272,7 +272,8 @@ func (d *deferredWire) run() {
 // network. Create one with New, register component objects with Register,
 // and interact through the pattern methods.
 type Platform struct {
-	kernel     *sim.Kernel
+	tb         sim.Timebase
+	kern       *sim.Kernel // non-nil when tb is a bare kernel: devirtualized hot path
 	transport  protocol.LowerService
 	itransport protocol.IndexedLower // non-nil when transport has the dense plane
 	profile    Profile
@@ -299,10 +300,12 @@ type Platform struct {
 
 // New creates a platform over transport. The broker address hosts the
 // platform's queue/topic broker; it is attached lazily on first use.
-func New(kernel *sim.Kernel, transport protocol.LowerService, profile Profile, broker Addr) *Platform {
+func New(tb sim.Timebase, transport protocol.LowerService, profile Profile, broker Addr) *Platform {
 	it, _ := transport.(protocol.IndexedLower)
+	kern, _ := tb.(*sim.Kernel)
 	return &Platform{
-		kernel:     kernel,
+		tb:         tb,
+		kern:       kern,
 		transport:  transport,
 		itransport: it,
 		profile:    profile,
@@ -316,11 +319,33 @@ func New(kernel *sim.Kernel, transport protocol.LowerService, profile Profile, b
 	}
 }
 
+// scheduleFunc and scheduleFuncRef route timer arming through the
+// concrete kernel when the timebase is one: the per-message dispatch
+// and call-timeout paths are hot, and the interface call defeats
+// inlining (see network.scheduleBatch for the same trade).
+//
+//repolint:hotpath
+func (p *Platform) scheduleFunc(delay time.Duration, fn func()) {
+	if p.kern != nil {
+		p.kern.ScheduleFunc(delay, fn)
+		return
+	}
+	p.tb.ScheduleFunc(delay, fn)
+}
+
+//repolint:hotpath
+func (p *Platform) scheduleFuncRef(delay time.Duration, fn func()) sim.TimerRef {
+	if p.kern != nil {
+		return p.kern.ScheduleFuncRef(delay, fn)
+	}
+	return p.tb.ScheduleFuncRef(delay, fn)
+}
+
 // Profile returns the platform's profile.
 func (p *Platform) Profile() Profile { return p.profile }
 
-// Kernel returns the simulation kernel.
-func (p *Platform) Kernel() *sim.Kernel { return p.kernel }
+// Time returns the platform's timebase.
+func (p *Platform) Time() sim.Timebase { return p.tb }
 
 // Stats returns a snapshot of platform counters.
 func (p *Platform) Stats() Stats {

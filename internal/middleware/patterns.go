@@ -66,7 +66,7 @@ func (p *Platform) Invoke(from Addr, target ObjRef, op string, args codec.Record
 	id := p.nextCall
 	pc := pendingCall{cont: cont}
 	if p.profile.CallTimeout > 0 {
-		pc.timer = p.kernel.Schedule(p.profile.CallTimeout, func() { p.onCallTimeout(id) })
+		pc.timer = p.scheduleFuncRef(p.profile.CallTimeout, func() { p.onCallTimeout(id) })
 	}
 	p.pending[id] = pc
 	p.stats.Calls++
@@ -83,9 +83,7 @@ func (p *Platform) Invoke(from Addr, target ObjRef, op string, args codec.Record
 	if err := p.finishSend(buf, &e, from, fromLow, to, toLow); err != nil {
 		p.mu.Lock()
 		if pc, ok := p.pending[id]; ok {
-			if pc.timer != nil {
-				pc.timer.Cancel()
-			}
+			pc.timer.Cancel() // zero ref is an inert no-op
 			delete(p.pending, id)
 		}
 		p.mu.Unlock()
@@ -349,7 +347,7 @@ func (p *Platform) onWire(srcAddr Addr, srcLow, atID int32, data []byte) {
 		buf := codec.GetBuffer()
 		buf.B = append(buf.B[:0], data...)
 		d.buf = buf
-		p.kernel.ScheduleFunc(overhead, d.fn)
+		p.scheduleFunc(overhead, d.fn)
 		return
 	}
 	p.handleWire(srcAddr, srcLow, atID, data)
@@ -446,9 +444,7 @@ func (p *Platform) handleReply(v *codec.MsgView) {
 	pc, ok := p.pending[id]
 	if ok {
 		delete(p.pending, id)
-		if pc.timer != nil {
-			pc.timer.Cancel()
-		}
+		pc.timer.Cancel() // zero ref is an inert no-op
 	}
 	p.mu.Unlock()
 	if !ok {

@@ -5,8 +5,10 @@
 //
 // The network is a set of named nodes joined by configurable links. A link
 // models latency, jitter, probabilistic loss and duplication, and an
-// optional MTU. Delivery is scheduled on a sim.Kernel, so all behaviour is
-// deterministic for a fixed seed.
+// optional MTU. Delivery is scheduled on a sim.Timebase (a single kernel
+// or a sharded group), so all behaviour is deterministic for a fixed
+// seed; deliveries carry the destination slot as their affinity, which
+// is how a sharded engine routes them to the shard owning the receiver.
 //
 // The service offered at this level is an *unreliable datagram* service:
 // higher layers (internal/protocol) build reliable datagram delivery on top
@@ -168,7 +170,9 @@ func (d *delivery) run() {
 
 // Network is the simulated interconnection fabric. Create one with New.
 type Network struct {
-	kernel      *sim.Kernel
+	tb          sim.Timebase
+	kern        *sim.Kernel // non-nil when tb is a bare kernel: devirtualized hot path
+	rng         *rand.Rand  // tb.Rand(), cached: both engines return a stable source
 	defaultLink LinkConfig
 
 	mu       sync.Mutex
@@ -192,23 +196,30 @@ type Network struct {
 
 type linkKey struct{ src, dst NodeID }
 
-// New creates a network scheduled on kernel.
-func New(kernel *sim.Kernel, opts ...Option) *Network {
+// New creates a network scheduled on tb — a *sim.Kernel for
+// single-threaded runs or a shard.Group for sharded ones; the network
+// is written once against the Timebase seam.
+func New(tb sim.Timebase, opts ...Option) *Network {
 	n := &Network{
-		kernel:      kernel,
+		tb:          tb,
+		rng:         tb.Rand(),
 		defaultLink: LinkConfig{Latency: time.Millisecond},
 		slots:       make(map[NodeID]Slot),
 		links:       make(map[linkKey]LinkConfig),
 		partition:   make(map[linkKey]bool),
 	}
+	// The seam is the Timebase interface, but the overwhelmingly common
+	// engine is a bare kernel; keeping the concrete pointer restores the
+	// direct (inlinable) call on the per-datagram schedule path.
+	n.kern, _ = tb.(*sim.Kernel)
 	for _, opt := range opts {
 		opt(n)
 	}
 	return n
 }
 
-// Kernel returns the simulation kernel the network schedules on.
-func (n *Network) Kernel() *sim.Kernel { return n.kernel }
+// Time returns the timebase the network schedules on.
+func (n *Network) Time() sim.Timebase { return n.tb }
 
 // Register adds a node with a slot-addressed handler and returns its
 // dense slot — the entry point of the map-free plane. Registration is
@@ -464,12 +475,16 @@ func (n *Network) Send(src, dst NodeID, payload []byte) error {
 	if !ok {
 		return fmt.Errorf("%w: destination %q", ErrUnknownNode, dst)
 	}
-	var batch [2]sim.BatchEntry
-	entries, err := n.transmitLocked(n.kernel.Rand(), ss, ds, payload, batch[:0])
+	// The batch is staged in the lock-protected scratch slice: a local
+	// array would escape through the Timebase interface call and put an
+	// allocation on the per-datagram path.
+	entries, err := n.transmitLocked(n.rng, ss, ds, payload, n.scratch[:0])
 	if err != nil {
+		n.scratch = entries[:0]
 		return err
 	}
-	n.kernel.ScheduleBatch(entries)
+	n.scheduleBatch(entries)
+	n.scratch = entries[:0]
 	return nil
 }
 
@@ -487,12 +502,15 @@ func (n *Network) SendSlot(src, dst Slot, payload []byte) error {
 	if int(dst) >= len(n.ids) || dst < 0 {
 		return fmt.Errorf("%w: destination %d", ErrBadSlot, dst) //repolint:allow alloc -- cold: caller passed an invalid slot
 	}
-	var batch [2]sim.BatchEntry
-	entries, err := n.transmitLocked(n.kernel.Rand(), src, dst, payload, batch[:0])
+	// Staged in the scratch slice, not a local array: locals escape
+	// through the Timebase interface call (see Send).
+	entries, err := n.transmitLocked(n.rng, src, dst, payload, n.scratch[:0])
 	if err != nil {
+		n.scratch = entries[:0]
 		return err
 	}
-	n.kernel.ScheduleBatch(entries)
+	n.scheduleBatch(entries)
+	n.scratch = entries[:0]
 	return nil
 }
 
@@ -511,7 +529,7 @@ func (n *Network) SendMulti(src NodeID, dsts []NodeID, payload []byte) error {
 		return fmt.Errorf("%w: source %q", ErrUnknownNode, src)
 	}
 	var firstErr error
-	rng := n.kernel.Rand()
+	rng := n.rng
 	entries := n.scratch[:0]
 	for _, dst := range dsts {
 		ds, ok := n.slots[dst]
@@ -527,7 +545,7 @@ func (n *Network) SendMulti(src NodeID, dsts []NodeID, payload []byte) error {
 			firstErr = err
 		}
 	}
-	n.kernel.ScheduleBatch(entries)
+	n.scheduleBatch(entries)
 	n.scratch = entries[:0]
 	return firstErr
 }
@@ -544,7 +562,7 @@ func (n *Network) SendMultiSlot(src Slot, dsts []Slot, payload []byte) error {
 		return fmt.Errorf("%w: source %d", ErrBadSlot, src) //repolint:allow alloc -- cold: caller passed an invalid slot
 	}
 	var firstErr error
-	rng := n.kernel.Rand()
+	rng := n.rng
 	entries := n.scratch[:0]
 	for _, dst := range dsts {
 		if int(dst) >= len(n.ids) || dst < 0 {
@@ -559,9 +577,22 @@ func (n *Network) SendMultiSlot(src Slot, dsts []Slot, payload []byte) error {
 			firstErr = err
 		}
 	}
-	n.kernel.ScheduleBatch(entries)
+	n.scheduleBatch(entries)
 	n.scratch = entries[:0]
 	return firstErr
+}
+
+// scheduleBatch hands a staged batch to the engine, through the direct
+// kernel call when the timebase is a bare kernel (the interface call
+// defeats inlining and costs measurably on the per-datagram path).
+//
+//repolint:hotpath
+func (n *Network) scheduleBatch(entries []sim.BatchEntry) {
+	if n.kern != nil {
+		n.kern.ScheduleBatch(entries)
+		return
+	}
+	n.tb.ScheduleBatch(entries)
 }
 
 // transmitLocked validates one src→dst datagram, applies partition, loss
@@ -621,7 +652,10 @@ func (n *Network) deliveryLocked(rng *rand.Rand, src, dst Slot, cfg *LinkConfig,
 		d.fn = d.run
 	}
 	d.src, d.dst, d.buf = src, dst, buf
-	return sim.BatchEntry{Delay: delay, Fn: d.fn}
+	// The affinity stamp is what turns this delivery into a boundary
+	// event when dst's slot lives on another shard; the single-threaded
+	// kernel ignores it.
+	return sim.BatchEntry{Delay: delay, Fn: d.fn, Aff: sim.AffinityOf(dst)}
 }
 
 // Stats returns a snapshot of the network counters.

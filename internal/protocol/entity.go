@@ -47,13 +47,15 @@ type Context struct {
 // Self returns the entity's address.
 func (c *Context) Self() Addr { return c.self }
 
-// Kernel returns the simulation kernel (for time-dependent behaviour).
-func (c *Context) Kernel() *sim.Kernel { return c.layer.kernel }
+// Time returns the layer's timebase (for time-dependent behaviour).
+func (c *Context) Time() sim.Timebase { return c.layer.tb }
 
 // Schedule runs fn after a virtual delay; entities use it for polling
-// intervals, hold times and timeouts.
-func (c *Context) Schedule(delay time.Duration, fn func()) *sim.Timer {
-	return c.layer.kernel.Schedule(delay, fn)
+// intervals, hold times and timeouts. The returned ref cancels without
+// pinning a timer allocation (see sim.TimerRef); callers that do not
+// need to cancel may discard it.
+func (c *Context) Schedule(delay time.Duration, fn func()) sim.TimerRef {
+	return c.layer.tb.ScheduleFuncRef(delay, fn)
 }
 
 // SendPDU encodes and transmits a PDU to the peer entity at dst through
@@ -148,7 +150,7 @@ type entityEntry struct {
 // first resolution).
 type Layer struct {
 	name   string
-	kernel *sim.Kernel
+	tb     sim.Timebase
 	lower  LowerService
 	ilower IndexedLower // non-nil when lower supports the dense plane
 
@@ -166,12 +168,13 @@ type Layer struct {
 	snapDirty bool
 }
 
-// NewLayer creates an empty layer over lower.
-func NewLayer(name string, kernel *sim.Kernel, lower LowerService) *Layer {
+// NewLayer creates an empty layer over lower, scheduled on tb (a
+// *sim.Kernel or a shard.Group; the layer never depends on which).
+func NewLayer(name string, tb sim.Timebase, lower LowerService) *Layer {
 	il, _ := lower.(IndexedLower)
 	return &Layer{
 		name:   name,
-		kernel: kernel,
+		tb:     tb,
 		lower:  lower,
 		ilower: il,
 		ids:    make(map[Addr]int32),
@@ -182,8 +185,8 @@ func NewLayer(name string, kernel *sim.Kernel, lower LowerService) *Layer {
 // Name returns the layer's display name.
 func (l *Layer) Name() string { return l.name }
 
-// Kernel returns the layer's simulation kernel.
-func (l *Layer) Kernel() *sim.Kernel { return l.kernel }
+// Time returns the layer's timebase.
+func (l *Layer) Time() sim.Timebase { return l.tb }
 
 // internLocked returns addr's entity slot, assigning one on first sight.
 func (l *Layer) internLocked(addr Addr) int32 {
@@ -230,9 +233,13 @@ func (l *Layer) AddEntity(addr Addr, e Entity) error {
 	selfLow := int32(-1)
 	if l.ilower != nil {
 		lowID, err := l.ilower.AttachIndexed(addr, func(lowSrc int32, data []byte) {
-			msg, err := codec.DecodeMessage(data)
+			v, err := codec.ParseMessage(data)
 			if err != nil {
 				return // undecodable PDU: drop
+			}
+			msg, err := v.Message()
+			if err != nil {
+				return
 			}
 			_ = e.FromPeer(l.addrForLower(lowSrc), msg) //nolint:errcheck // entity errors are local design errors surfaced in tests
 		})
@@ -241,9 +248,13 @@ func (l *Layer) AddEntity(addr Addr, e Entity) error {
 		}
 		selfLow = lowID
 	} else if err := l.lower.Attach(addr, func(src Addr, data []byte) {
-		msg, err := codec.DecodeMessage(data)
+		v, err := codec.ParseMessage(data)
 		if err != nil {
 			return // undecodable PDU: drop
+		}
+		msg, err := v.Message()
+		if err != nil {
+			return
 		}
 		_ = e.FromPeer(src, msg) //nolint:errcheck // entity errors are local design errors surfaced in tests
 	}); err != nil {

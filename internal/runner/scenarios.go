@@ -46,6 +46,11 @@ type Matrix struct {
 	Cycles       int
 	PollInterval time.Duration
 	Latency      time.Duration
+	// Shards selects the execution engine for every scenario (see
+	// floorcontrol.Config.Shards). It is an execution parameter, not a
+	// swept dimension: results are byte-identical for every value, so it
+	// never contributes to scenario IDs, derived seeds, or sweep output.
+	Shards int
 }
 
 func (m Matrix) withDefaults() Matrix {
@@ -87,6 +92,7 @@ func (m Matrix) Scenarios() []Scenario {
 						PollInterval: m.PollInterval,
 						Latency:      m.Latency,
 						LossRate:     loss,
+						Shards:       m.Shards,
 					}
 					out = append(out, WorkloadScenario(cfg))
 				}
@@ -96,18 +102,77 @@ func (m Matrix) Scenarios() []Scenario {
 	return out
 }
 
+// BandSpec is the declarative description of a scenario band: the swept
+// dimensions a band varies (solutions, client counts, loss rates,
+// resource counts) plus the execution knobs it holds fixed (cycles,
+// shards). It is the single way bands are defined — the named band
+// constructors below are one-line specs, and callers compose ad-hoc
+// bands the same way instead of hand-rolling Matrix literals:
+//
+//	runner.BandSpec{Clients: []int{64}, Loss: []float64{0.05}, Shards: 4}.Scenarios()
+//
+// Field names follow the sweep CLI (-clients, -loss), not the workload
+// struct, because a band is a CLI-level concept. Empty dimensions take
+// the Matrix defaults (all solutions, clients {3}, resources {2},
+// lossless).
+type BandSpec struct {
+	// Solutions restricts the solution dimension; empty means all ten.
+	Solutions []string
+	// Clients is the subscriber-count dimension.
+	Clients []int
+	// Resources is the resource-count dimension.
+	Resources []int
+	// Loss is the link loss-rate dimension (fractions in [0, 1)).
+	Loss []float64
+	// Cycles fixes the acquire/hold/release cycles per subscriber; zero
+	// takes the workload default.
+	Cycles int
+	// Shards fixes the execution engine (see Matrix.Shards); it never
+	// affects results or scenario identity.
+	Shards int
+}
+
+// Matrix lowers the spec to the cross-product form the expander runs.
+func (s BandSpec) Matrix() Matrix {
+	return Matrix{
+		Solutions:   s.Solutions,
+		Subscribers: s.Clients,
+		Resources:   s.Resources,
+		LossRates:   s.Loss,
+		Cycles:      s.Cycles,
+		Shards:      s.Shards,
+	}
+}
+
+// Size returns the number of scenarios the band expands to.
+func (s BandSpec) Size() int { return s.Matrix().Size() }
+
+// Scenarios expands the band in deterministic order.
+func (s BandSpec) Scenarios() []Scenario { return s.Matrix().Scenarios() }
+
+// DefaultBand is the 120-scenario headline sweep: every solution at
+// client counts {2, 8, 32} and loss {0, 1, 5, 10}% — the matrix cmd/sweep
+// runs when invoked with no flags.
+func DefaultBand() BandSpec {
+	return BandSpec{
+		Clients: []int{2, 8, 32},
+		Loss:    []float64{0, 0.01, 0.05, 0.1},
+		Cycles:  6,
+	}
+}
+
 // LargeClientBand is the large-deployment scenario band the dense
 // routing/demux plane makes affordable: every solution at client counts
 // {64, 128, 256}, lossless and at 1% loss, with a reduced cycle count so
 // the 60-scenario band stays a few seconds of wall time. It complements
-// the default sweep matrix (clients {2, 8, 32}), extending coverage into
-// the fan-out regime where per-message table-walk costs dominate.
+// DefaultBand (clients {2, 8, 32}), extending coverage into the fan-out
+// regime where per-message table-walk costs dominate.
 func LargeClientBand() Matrix {
-	return Matrix{
-		Subscribers: []int{64, 128, 256},
-		LossRates:   []float64{0, 0.01},
-		Cycles:      4,
-	}
+	return BandSpec{
+		Clients: []int{64, 128, 256},
+		Loss:    []float64{0, 0.01},
+		Cycles:  4,
+	}.Matrix()
 }
 
 // WorkloadScenario wraps one floor-control workload configuration into a

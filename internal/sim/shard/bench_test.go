@@ -1,0 +1,105 @@
+package shard_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/sim/shard"
+)
+
+// The benchmarks below are the shard engine's permanent performance
+// surface: cmd/benchcmp compares their results against the committed
+// BENCH_shard.json baseline in the CI bench-shard job. Names are
+// load-bearing — renaming one silently drops it from the gate until the
+// baseline is refreshed.
+
+// BenchmarkCalibrate is the fixed arithmetic workload cmd/benchcmp
+// (-normalize Calibrate) uses to factor out raw machine speed; it must
+// stay identical to the other suites' calibrators.
+func BenchmarkCalibrate(b *testing.B) {
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < b.N; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	benchSink = x
+}
+
+var benchSink uint64
+
+// benchRing drives a 64-node token ring: each event forwards the token
+// to the next slot through the batch path with an affinity stamp. Under
+// the slot%K partition every hop crosses a shard for K>1, so ns/op is
+// the worst-case per-event cost of the boundary protocol (emit, barrier,
+// inject, claim hand-off); events/sec is its inverse. For the plain
+// kernel and K=1 the same workload is all-local.
+func benchRing(b *testing.B, e sim.Engine) {
+	b.ReportAllocs()
+	const ringSize = 64
+	remaining := b.N
+	fns := make([]func(), ringSize)
+	entry := make([]sim.BatchEntry, 1)
+	for i := range fns {
+		next := int32((i + 1) % ringSize)
+		fns[i] = func() {
+			remaining--
+			if remaining <= 0 {
+				e.Stop()
+				return
+			}
+			entry[0] = sim.BatchEntry{Delay: time.Microsecond, Fn: fns[next], Aff: sim.AffinityOf(next)}
+			e.ScheduleBatch(entry)
+		}
+	}
+	entry[0] = sim.BatchEntry{Delay: time.Microsecond, Fn: fns[0], Aff: sim.AffinityOf(0)}
+	e.ScheduleBatch(entry)
+	b.ResetTimer()
+	if _, err := e.Run(); err != nil && !errors.Is(err, sim.ErrStopped) {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRingKernel is the unsharded reference: the same ring on a
+// bare kernel. The gap between this and BenchmarkRingShard1 is the
+// group façade's K=1 overhead — the acceptance band the CI gate holds.
+func BenchmarkRingKernel(b *testing.B) {
+	benchRing(b, sim.NewKernel())
+}
+
+func BenchmarkRingShard1(b *testing.B) { benchRing(b, shard.NewGroup(1)) }
+func BenchmarkRingShard2(b *testing.B) { benchRing(b, shard.NewGroup(2)) }
+func BenchmarkRingShard4(b *testing.B) { benchRing(b, shard.NewGroup(4)) }
+func BenchmarkRingShard8(b *testing.B) { benchRing(b, shard.NewGroup(8)) }
+
+// benchFanOut measures the batch fan-out path: 64 deliveries across
+// all slots per iteration — the shape the simulated network's pub/sub
+// fan-out produces. The deliveries land on distinct instants owned by
+// rotating shards, so the sharded run is a pure claim hand-off stress
+// (no cross-shard emissions, one dispatch per instant), complementing
+// the ring's emit+barrier worst case.
+func benchFanOut(b *testing.B, e sim.Engine) {
+	b.ReportAllocs()
+	const fan = 64
+	fn := func() {}
+	entries := make([]sim.BatchEntry, fan)
+	for i := range entries {
+		entries[i] = sim.BatchEntry{
+			Delay: time.Duration(i) * time.Microsecond,
+			Fn:    fn,
+			Aff:   sim.AffinityOf(int32(i)),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleBatch(entries)
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFanOutKernel(b *testing.B) { benchFanOut(b, sim.NewKernel()) }
+func BenchmarkFanOutShard4(b *testing.B) { benchFanOut(b, shard.NewGroup(4)) }

@@ -1,0 +1,528 @@
+// Package shard merges K deterministic sim kernels into one execution
+// engine — sim/shard.Group — that implements the same Timebase/Engine
+// surface as a single *sim.Kernel and produces the exact same global
+// event order for every K, including K=1.
+//
+// # Model
+//
+// A scenario's nodes are partitioned by their dense network slot
+// (Partition maps slot → shard). Each shard owns a private *sim.Kernel
+// — its own heap, clock, timer free list — and a worker goroutine that
+// runs that kernel's event loop. Cross-shard sends become boundary
+// events: the sending shard stamps them with an (at, seq) merge key at
+// emission, the coordinator exchanges them at the next barrier, and the
+// receiving kernel folds them into its heap with the stamped key.
+//
+// # Merge-key discipline
+//
+// A single kernel orders events by (at, seq) with seq allocated per
+// schedule call. The group hoists the sequence counter: every schedule
+// call through the group — local or cross-shard — draws from one global
+// counter, so each event carries a globally unique (at, seq) key and the
+// union of the K heaps has one total order. That order is identical to
+// the order a single kernel would produce for the same schedule calls,
+// which is what makes sweep output byte-identical for any K (the
+// determinism suite pins this). Conceptually the key is (at, shard,
+// seq); because seq is globally unique the shard component never breaks
+// a tie, and it exists as the routing component (Affinity) rather than
+// as a comparison component.
+//
+// # Conservative claims
+//
+// The coordinator advances the merged simulation in claims. At each
+// barrier it flushes pending boundary events, peeks every kernel's next
+// key, and dispatches the shard holding the globally smallest key with a
+// claim bound equal to the smallest key among the other shards: the
+// shard may execute every event strictly below the bound, because the
+// other shards are frozen between barriers and cannot produce an earlier
+// one. While a claim runs, only the claiming shard emits boundary
+// events; an emission whose key is below the current bound shrinks the
+// bound to that key, so the claim stops exactly where the new boundary
+// event must execute. Link latency is what makes claims coarse: a
+// boundary event fires at least one cross-shard hop after now, so a
+// shard's own emissions rarely cut its claim short.
+//
+// Within a claim the kernel's run loop re-evaluates the bound before
+// every pop, so a bound that lands inside one instant (another shard
+// holds an interleaved sequence number) splits the instant at exactly
+// the right event.
+//
+// # Determinism over parallelism
+//
+// Claims are dispatched one at a time: the engine is a deterministic
+// global merge, not a relaxed-window parallel simulator. This is a
+// deliberate trade — byte-identical output across K (and with the
+// single kernel) requires executing the exact global (at, seq) order
+// with a single shared random source, which no relaxation preserves.
+// The shard structure (per-shard heaps, boundary protocol, per-shard
+// goroutines) is exactly what a relaxed mode needs; see DESIGN.md §1.6
+// for the lookahead derivation and what a non-oracle mode would give
+// up.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Partition maps a dense network slot to the shard index owning it. It
+// must be a pure function returning values in [0, K) for every slot the
+// scenario uses.
+type Partition func(slot int32) int
+
+// Option configures a Group.
+type Option func(*Group)
+
+// WithSeed sets the seed of the group's shared deterministic random
+// source. The default seed is 1, matching sim.NewKernel.
+func WithSeed(seed int64) Option {
+	return func(g *Group) { g.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithEventLimit bounds the total number of events a single Run call may
+// execute across all shards. Zero (the default) means no limit.
+func WithEventLimit(n int) Option {
+	return func(g *Group) { g.eventLimit = n }
+}
+
+// WithPartition replaces the default slot%K partition map.
+func WithPartition(p Partition) Option {
+	return func(g *Group) { g.part = p }
+}
+
+// boundary is a cross-shard event parked between its emission and the
+// next barrier, already stamped with its final merge key.
+type boundary struct {
+	at  time.Duration
+	seq uint64
+	dst int
+	fn  func()
+}
+
+// Stats counts coordinator work, for tests and capacity reasoning.
+type Stats struct {
+	// Claims is the number of barrier-to-barrier shard dispatches.
+	Claims uint64
+	// Boundaries is the number of cross-shard events exchanged.
+	Boundaries uint64
+}
+
+// Group is a sharded simulation engine over K kernels. Create one with
+// NewGroup; the zero value is not usable. It implements sim.Timebase
+// and sim.Engine, so it drops in wherever a *sim.Kernel is consumed
+// through those interfaces.
+//
+// Concurrency contract: like the kernel, scheduling methods must be
+// called before a run starts or from inside an event handler; handlers
+// execute one at a time in global (at, seq) order regardless of which
+// shard owns them. Run, RunUntil and Stop follow kernel semantics.
+type Group struct {
+	mu      sync.Mutex
+	kernels []*sim.Kernel
+	part    Partition
+	rng     *rand.Rand
+	seq     uint64        // global sequence counter; the merge key's tiebreak
+	now     time.Duration // merged clock: latest executed instant across shards
+	out     []boundary    // emissions parked until the next barrier
+	stats   Stats
+
+	eventLimit int
+
+	// cur is the shard holding the active claim (-1 between claims);
+	// claimAt/claimSeq are the active claim bound. They are atomics so
+	// the bound check inside the kernel run loop (which holds the kernel
+	// lock) never takes the group lock.
+	cur      atomic.Int32
+	claimAt  atomic.Int64
+	claimSeq atomic.Uint64
+	stopped  atomic.Bool
+}
+
+// Compile-time checks: the group is a drop-in engine.
+var (
+	_ sim.Timebase = (*Group)(nil)
+	_ sim.Engine   = (*Group)(nil)
+)
+
+// NewGroup returns a group of `shards` kernels at virtual time zero,
+// partitioned slot%K unless WithPartition overrides it.
+func NewGroup(shards int, opts ...Option) *Group {
+	if shards < 1 {
+		panic("shard: NewGroup needs at least one shard")
+	}
+	g := &Group{
+		kernels: make([]*sim.Kernel, shards),
+		part:    func(slot int32) int { return int(slot) % shards },
+		rng:     rand.New(rand.NewSource(1)),
+	}
+	for i := range g.kernels {
+		g.kernels[i] = sim.NewKernel()
+	}
+	g.cur.Store(-1)
+	for _, opt := range opts {
+		opt(g)
+	}
+	return g
+}
+
+// Shards returns K.
+func (g *Group) Shards() int { return len(g.kernels) }
+
+// Now returns the current virtual time: the executing instant during a
+// claim, the latest executed instant between runs.
+func (g *Group) Now() time.Duration {
+	if c := g.cur.Load(); c >= 0 {
+		return g.kernels[c].Now()
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.now
+}
+
+// Rand returns the group's shared deterministic random source. All
+// shards draw from this one stream, in global event order — sharding a
+// scenario does not change its random history.
+func (g *Group) Rand() *rand.Rand { return g.rng }
+
+// Executed returns the total number of events executed across shards.
+func (g *Group) Executed() uint64 {
+	var n uint64
+	for _, k := range g.kernels {
+		n += k.Executed()
+	}
+	return n
+}
+
+// Pending returns the number of scheduled, not yet executed events
+// across shards, including boundary events parked before a barrier.
+func (g *Group) Pending() int {
+	g.mu.Lock()
+	n := len(g.out)
+	g.mu.Unlock()
+	for _, k := range g.kernels {
+		n += k.Pending()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the coordinator counters.
+func (g *Group) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// ScheduleFunc arranges for fn to run after a virtual delay on the
+// scheduling shard (the claiming shard during a run, shard 0 before
+// one). Placement never affects execution order — only the (at, seq)
+// key does.
+//
+//repolint:hotpath
+func (g *Group) ScheduleFunc(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.seq++
+	if c := g.cur.Load(); c >= 0 {
+		g.kernels[c].ScheduleKeyed(delay, g.seq, fn)
+		return
+	}
+	g.kernels[0].InjectKeyed(g.now+delay, g.seq, fn)
+}
+
+// ScheduleFuncRef is ScheduleFunc with a recyclable cancellation handle.
+func (g *Group) ScheduleFuncRef(delay time.Duration, fn func()) sim.TimerRef {
+	if delay < 0 {
+		delay = 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.seq++
+	if c := g.cur.Load(); c >= 0 {
+		return g.kernels[c].ScheduleKeyed(delay, g.seq, fn)
+	}
+	return g.kernels[0].InjectKeyed(g.now+delay, g.seq, fn)
+}
+
+// ScheduleBatch schedules every entry in slice order under one
+// coordination step. Entries whose Affinity names a slot owned by
+// another shard become boundary events: they park with their final
+// merge key until the next barrier, and shrink the active claim bound
+// if they precede it.
+//
+//repolint:hotpath
+func (g *Group) ScheduleBatch(entries []sim.BatchEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c := int(g.cur.Load())
+	// base is the emission instant; the all-local fast path never needs
+	// it (ScheduleKeyed resolves delays against the claiming kernel's
+	// clock), so it is fetched lazily on the first cross-shard entry.
+	base := g.now
+	haveBase := c < 0
+	for i := range entries {
+		d := entries[i].Delay
+		if d < 0 {
+			d = 0
+		}
+		g.seq++
+		dst := c
+		if len(g.kernels) > 1 { // K=1 owns every slot; skip the map
+			if key, ok := entries[i].Aff.Key(); ok {
+				dst = g.part(key)
+			}
+		}
+		if c < 0 {
+			// No claim active: inject straight into the owning heap.
+			if dst < 0 {
+				dst = 0
+			}
+			g.kernels[dst].InjectKeyed(base+d, g.seq, entries[i].Fn)
+			continue
+		}
+		if dst == c {
+			g.kernels[c].ScheduleKeyed(d, g.seq, entries[i].Fn)
+			continue
+		}
+		if !haveBase {
+			base = g.kernels[c].Now()
+			haveBase = true
+		}
+		at := base + d
+		g.out = append(g.out, boundary{at: at, seq: g.seq, dst: dst, fn: entries[i].Fn})
+		g.stats.Boundaries++
+		g.shrinkClaimLocked(at, g.seq)
+	}
+}
+
+// shrinkClaimLocked lowers the active claim bound to (at, seq) if that
+// key precedes it: events of the claiming shard at or beyond a freshly
+// emitted boundary event must wait for the barrier that delivers it.
+// Every event already popped into the claiming kernel's batch precedes
+// the emission's key (the global counter is monotone), so shrinking
+// mid-batch never orphans an ordering violation.
+func (g *Group) shrinkClaimLocked(at time.Duration, seq uint64) {
+	cAt := time.Duration(g.claimAt.Load())
+	if at > cAt || (at == cAt && seq >= g.claimSeq.Load()) {
+		return
+	}
+	g.claimAt.Store(int64(at))
+	g.claimSeq.Store(seq)
+}
+
+// Stop aborts an in-progress run at the next event boundary. Pending
+// events (including parked boundary events) remain queued.
+func (g *Group) Stop() {
+	g.stopped.Store(true)
+	if c := g.cur.Load(); c >= 0 {
+		g.kernels[c].Stop()
+	}
+}
+
+// Run executes events across all shards until every queue drains. It
+// returns the number of events executed, and sim.ErrStopped if Stop was
+// called or an error if the event limit was exceeded — kernel
+// semantics, shard-invariant numbers.
+func (g *Group) Run() (int, error) {
+	return g.run(0, false)
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances
+// every shard's clock (and the merged clock) to the deadline.
+func (g *Group) RunUntil(deadline time.Duration) (int, error) {
+	n, err := g.run(deadline, true)
+	g.mu.Lock()
+	if g.now < deadline {
+		g.now = deadline
+	}
+	g.mu.Unlock()
+	for _, k := range g.kernels {
+		k.AdvanceTo(deadline)
+	}
+	return n, err
+}
+
+type claimResult struct {
+	n   int
+	err error
+}
+
+// run is the coordinator loop: barrier (consume stop, flush boundary
+// events, peek every shard) → claim (dispatch the shard with the
+// globally smallest key, bounded by the smallest key elsewhere) →
+// account → repeat. Each shard's event loop runs on its own worker
+// goroutine; workers live for one run call and are torn down by closing
+// their dispatch channels.
+func (g *Group) run(deadline time.Duration, bounded bool) (int, error) {
+	done := make(chan claimResult)
+	chans := make([]chan func(time.Duration, uint64) bool, len(g.kernels))
+	for i := range g.kernels {
+		ch := make(chan func(time.Duration, uint64) bool)
+		chans[i] = ch
+		go func(k *sim.Kernel, ch <-chan func(time.Duration, uint64) bool) {
+			for cond := range ch {
+				var (
+					n   int
+					err error
+				)
+				if cond == nil {
+					n, err = k.Run()
+				} else {
+					n, err = k.RunCond(cond)
+				}
+				done <- claimResult{n: n, err: err}
+			}
+		}(g.kernels[i], ch)
+	}
+	defer func() {
+		for _, ch := range chans {
+			close(ch)
+		}
+	}()
+
+	// One bound check serves every claim: it reads the claim atomics the
+	// coordinator (between claims) and the claiming shard's emissions
+	// (during one) maintain.
+	cond := func(at time.Duration, seq uint64) bool {
+		if bounded && at > deadline {
+			return false
+		}
+		cAt := time.Duration(g.claimAt.Load())
+		if at > cAt {
+			return false
+		}
+		return at < cAt || seq < g.claimSeq.Load()
+	}
+
+	executed := 0
+	for {
+		if g.stopped.CompareAndSwap(true, false) {
+			g.clearKernelStops()
+			return executed, sim.ErrStopped
+		}
+		g.flushBoundaries()
+		m, minAt, bAt, bSeq := g.peekMerge()
+		if m < 0 {
+			return executed, nil
+		}
+		if bounded && minAt > deadline {
+			return executed, nil
+		}
+		if g.eventLimit > 0 && executed >= g.eventLimit {
+			return executed, g.limitErr()
+		}
+		limit := 0
+		if g.eventLimit > 0 {
+			limit = g.eventLimit - executed
+		}
+		g.kernels[m].SetEventLimit(limit)
+		g.claimAt.Store(int64(bAt))
+		g.claimSeq.Store(bSeq)
+		g.cur.Store(int32(m))
+		g.mu.Lock()
+		g.stats.Claims++
+		g.mu.Unlock()
+
+		// A single-shard unbounded claim has a vacuously true bound: no
+		// other shard can supply one, and no emission can shrink it
+		// (cross-shard boundaries need a second shard). Dispatching a nil
+		// cond lets the kernel take its unconditional fast path, which is
+		// most of the group's K=1 overhead. With K>1 the cond must stay
+		// even when every other heap is empty — the claim itself may emit
+		// a boundary and shrink the bound mid-batch.
+		if len(g.kernels) == 1 && !bounded {
+			chans[m] <- nil
+		} else {
+			chans[m] <- cond
+		}
+		r := <-done
+		g.cur.Store(-1)
+		executed += r.n
+		g.mu.Lock()
+		if n := g.kernels[m].Now(); n > g.now {
+			g.now = n
+		}
+		g.mu.Unlock()
+		if r.err != nil {
+			if errors.Is(r.err, sim.ErrStopped) {
+				g.stopped.CompareAndSwap(true, false)
+				g.clearKernelStops()
+				return executed, sim.ErrStopped
+			}
+			// The kernel reported its per-claim budget; reword with the
+			// group's numbers so K never shows through the error.
+			return executed, g.limitErr()
+		}
+	}
+}
+
+// limitErr formats the event-limit error exactly as a single kernel
+// would: group limit, last executed instant.
+func (g *Group) limitErr() error {
+	g.mu.Lock()
+	now := g.now
+	g.mu.Unlock()
+	return fmt.Errorf("sim: event limit %d exceeded at t=%v", g.eventLimit, now)
+}
+
+// peekMerge returns the shard holding the globally smallest pending key
+// (-1 when all heaps are empty), that key's instant, and the smallest
+// key among the other shards — the claim bound. A shard with no bound
+// (K=1, or every other heap empty) gets an infinite one.
+func (g *Group) peekMerge() (m int, minAt time.Duration, boundAt time.Duration, boundSeq uint64) {
+	m = -1
+	var minSeq uint64
+	boundAt, boundSeq = time.Duration(math.MaxInt64), math.MaxUint64
+	for i, k := range g.kernels {
+		at, seq, ok := k.PeekNext()
+		if !ok {
+			continue
+		}
+		if m < 0 || at < minAt || (at == minAt && seq < minSeq) {
+			if m >= 0 && (minAt < boundAt || (minAt == boundAt && minSeq < boundSeq)) {
+				boundAt, boundSeq = minAt, minSeq
+			}
+			m, minAt, minSeq = i, at, seq
+			continue
+		}
+		if at < boundAt || (at == boundAt && seq < boundSeq) {
+			boundAt, boundSeq = at, seq
+		}
+	}
+	return m, minAt, boundAt, boundSeq
+}
+
+// flushBoundaries folds parked boundary events into their destination
+// heaps under the stamped merge keys. Conservative claims guarantee
+// every destination clock is at or before each event's instant, so the
+// injection can never be into the past.
+func (g *Group) flushBoundaries() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := range g.out {
+		g.kernels[g.out[i].dst].InjectKeyed(g.out[i].at, g.out[i].seq, g.out[i].fn)
+		g.out[i].fn = nil
+	}
+	g.out = g.out[:0]
+}
+
+// clearKernelStops consumes any stop flag left on a kernel that was not
+// (or no longer) running when Stop landed, so a stale flag cannot abort
+// a later run's first claim on that shard.
+func (g *Group) clearKernelStops() {
+	for _, k := range g.kernels {
+		k.ConsumeStop()
+	}
+}

@@ -1,0 +1,414 @@
+package shard_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/sim/shard"
+)
+
+// traceEntry records one observable fact per executed event: which node
+// handled it, at what instant, and what the shared random source
+// produced. Two engines are equivalent iff their traces are equal.
+type traceEntry struct {
+	Node int32
+	At   time.Duration
+	Draw int64
+}
+
+// workload drives a randomized cross-node message storm through any
+// engine: every delivery draws from the engine's random source, fans
+// out to random destinations with random delays (zero included, so
+// same-instant cross-shard ordering is exercised), and occasionally
+// self-schedules on the local fast path. The schedule-call sequence is
+// fully determined by the engine's random stream, so a sharded engine
+// reproduces the reference kernel's trace iff it executes the exact
+// global (at, seq) order.
+type workload struct {
+	eng   sim.Engine
+	nodes int32
+	trace []traceEntry
+	onEvt func() // optional per-event hook (stop tests)
+}
+
+func (w *workload) deliver(node int32, hops int) func() {
+	return func() {
+		rng := w.eng.Rand()
+		w.trace = append(w.trace, traceEntry{Node: node, At: w.eng.Now(), Draw: rng.Int63()})
+		if w.onEvt != nil {
+			w.onEvt()
+		}
+		if hops <= 0 {
+			return
+		}
+		n := 1 + rng.Intn(3)
+		entries := make([]sim.BatchEntry, 0, n)
+		for i := 0; i < n; i++ {
+			dst := int32(rng.Intn(int(w.nodes)))
+			d := time.Duration(rng.Intn(5)) * time.Millisecond
+			entries = append(entries, sim.BatchEntry{
+				Delay: d,
+				Fn:    w.deliver(dst, hops-1),
+				Aff:   sim.AffinityOf(dst),
+			})
+		}
+		w.eng.ScheduleBatch(entries)
+		if rng.Intn(4) == 0 {
+			w.eng.ScheduleFunc(time.Millisecond, w.deliver(node, hops-1))
+		}
+	}
+}
+
+func (w *workload) seed(msgs, hops int) {
+	for i := 0; i < msgs; i++ {
+		node := int32(i) % w.nodes
+		w.eng.ScheduleBatch([]sim.BatchEntry{{
+			Delay: time.Duration(i) * time.Millisecond,
+			Fn:    w.deliver(node, hops),
+			Aff:   sim.AffinityOf(node),
+		}})
+	}
+}
+
+const (
+	wlNodes = 12
+	wlMsgs  = 8
+	wlHops  = 5
+	wlSeed  = 42
+)
+
+// reference runs the workload on a plain kernel and returns its trace.
+func reference(t testing.TB) []traceEntry {
+	t.Helper()
+	k := sim.NewKernel(sim.WithSeed(wlSeed))
+	w := &workload{eng: k, nodes: wlNodes}
+	w.seed(wlMsgs, wlHops)
+	if _, err := k.Run(); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	return w.trace
+}
+
+// TestTraceMatchesKernel is the heart of the determinism suite: for
+// every K the sharded engine must reproduce the single kernel's event
+// trace — same handlers, same instants, same random draws — exactly.
+func TestTraceMatchesKernel(t *testing.T) {
+	want := reference(t)
+	if len(want) < 100 {
+		t.Fatalf("workload too small to be meaningful: %d events", len(want))
+	}
+	for _, k := range []int{1, 2, 3, 4, 8} {
+		g := shard.NewGroup(k, shard.WithSeed(wlSeed))
+		w := &workload{eng: g, nodes: wlNodes}
+		w.seed(wlMsgs, wlHops)
+		if _, err := g.Run(); err != nil {
+			t.Fatalf("K=%d run: %v", k, err)
+		}
+		if !reflect.DeepEqual(w.trace, want) {
+			t.Errorf("K=%d trace diverges from kernel (len %d vs %d)", k, len(w.trace), len(want))
+		}
+		if got := g.Executed(); got != uint64(len(want)) {
+			t.Errorf("K=%d Executed() = %d, want %d", k, got, len(want))
+		}
+		if g.Pending() != 0 {
+			t.Errorf("K=%d Pending() = %d after drain", k, g.Pending())
+		}
+	}
+}
+
+// TestPartitionFuzz replays the workload under randomized partition
+// maps: node placement must never affect the global order, only the
+// (at, seq) keys may.
+func TestPartitionFuzz(t *testing.T) {
+	want := reference(t)
+	fuzz := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		k := 2 + fuzz.Intn(7)
+		part := make([]int, 64)
+		for i := range part {
+			part[i] = fuzz.Intn(k)
+		}
+		g := shard.NewGroup(k, shard.WithSeed(wlSeed),
+			shard.WithPartition(func(slot int32) int { return part[slot] }))
+		w := &workload{eng: g, nodes: wlNodes}
+		w.seed(wlMsgs, wlHops)
+		if _, err := g.Run(); err != nil {
+			t.Fatalf("trial %d (K=%d): %v", trial, k, err)
+		}
+		if !reflect.DeepEqual(w.trace, want) {
+			t.Errorf("trial %d (K=%d): trace diverges under random partition", trial, k)
+		}
+	}
+}
+
+// TestRunUntilMatchesKernel drives both engines through the same
+// segmented RunUntil schedule and compares traces and clocks after
+// every segment.
+func TestRunUntilMatchesKernel(t *testing.T) {
+	deadlines := []time.Duration{
+		3 * time.Millisecond, 9 * time.Millisecond, 10 * time.Millisecond,
+		25 * time.Millisecond, time.Second,
+	}
+	k := sim.NewKernel(sim.WithSeed(wlSeed))
+	ref := &workload{eng: k, nodes: wlNodes}
+	ref.seed(wlMsgs, wlHops)
+
+	for _, kk := range []int{2, 4} {
+		g := shard.NewGroup(kk, shard.WithSeed(wlSeed))
+		w := &workload{eng: g, nodes: wlNodes}
+		w.seed(wlMsgs, wlHops)
+		for i, d := range deadlines {
+			if kk == 2 { // advance the reference once per deadline
+				if _, err := k.RunUntil(d); err != nil {
+					t.Fatalf("reference RunUntil(%v): %v", d, err)
+				}
+			}
+			if _, err := g.RunUntil(d); err != nil {
+				t.Fatalf("K=%d RunUntil(%v): %v", kk, d, err)
+			}
+			if got, want := g.Now(), d; i < len(deadlines)-1 && got != want {
+				t.Errorf("K=%d Now() after RunUntil(%v) = %v", kk, d, got)
+			}
+		}
+		if !reflect.DeepEqual(w.trace, ref.trace) {
+			t.Errorf("K=%d segmented trace diverges from kernel", kk)
+		}
+	}
+}
+
+// TestStopResumeMatchesKernel stops both engines from inside a handler
+// after the same number of events, resumes, and compares the stitched
+// traces: a mid-claim abort must preserve the pending state exactly.
+func TestStopResumeMatchesKernel(t *testing.T) {
+	run := func(eng sim.Engine) []traceEntry {
+		w := &workload{eng: eng, nodes: wlNodes}
+		const stopAfter = 137
+		w.onEvt = func() {
+			if len(w.trace) == stopAfter {
+				eng.Stop()
+			}
+		}
+		w.seed(wlMsgs, wlHops)
+		if _, err := eng.Run(); !errors.Is(err, sim.ErrStopped) {
+			t.Fatalf("first run: got %v, want ErrStopped", err)
+		}
+		if len(w.trace) != stopAfter {
+			t.Fatalf("stopped after %d events, want %d", len(w.trace), stopAfter)
+		}
+		w.onEvt = nil
+		if _, err := eng.Run(); err != nil {
+			t.Fatalf("resume run: %v", err)
+		}
+		return w.trace
+	}
+	want := run(sim.NewKernel(sim.WithSeed(wlSeed)))
+	for _, k := range []int{1, 2, 4} {
+		if got := run(shard.NewGroup(k, shard.WithSeed(wlSeed))); !reflect.DeepEqual(got, want) {
+			t.Errorf("K=%d stop/resume trace diverges from kernel", k)
+		}
+	}
+}
+
+// TestStopBeforeRun pins kernel parity for a stop that lands while the
+// engine is idle: the next run consumes it and executes nothing.
+func TestStopBeforeRun(t *testing.T) {
+	g := shard.NewGroup(2)
+	fired := false
+	g.ScheduleFunc(time.Millisecond, func() { fired = true })
+	g.Stop()
+	if n, err := g.Run(); !errors.Is(err, sim.ErrStopped) || n != 0 || fired {
+		t.Fatalf("Run = (%d, %v, fired=%v), want (0, ErrStopped, false)", n, err, fired)
+	}
+	if n, err := g.Run(); err != nil || n != 1 || !fired {
+		t.Fatalf("second Run = (%d, %v, fired=%v), want the queued event to fire", n, err, fired)
+	}
+}
+
+// TestEventLimitMatchesKernel checks that a group-level event limit
+// aborts at the same event with the same error text as a single
+// kernel's — K never shows through.
+func TestEventLimitMatchesKernel(t *testing.T) {
+	const limit = 100
+	run := func(eng sim.Engine) (int, string, []traceEntry) {
+		w := &workload{eng: eng, nodes: wlNodes}
+		w.seed(wlMsgs, wlHops)
+		n, err := eng.Run()
+		if err == nil {
+			t.Fatal("run completed under event limit")
+		}
+		return n, err.Error(), w.trace
+	}
+	wantN, wantErr, wantTrace := run(sim.NewKernel(sim.WithSeed(wlSeed), sim.WithEventLimit(limit)))
+	for _, k := range []int{1, 2, 4} {
+		n, msg, trace := run(shard.NewGroup(k, shard.WithSeed(wlSeed), shard.WithEventLimit(limit)))
+		if n != wantN {
+			t.Errorf("K=%d executed %d before limit, kernel executed %d", k, n, wantN)
+		}
+		if msg != wantErr {
+			t.Errorf("K=%d limit error %q, kernel %q", k, msg, wantErr)
+		}
+		if !reflect.DeepEqual(trace, wantTrace) {
+			t.Errorf("K=%d limited trace diverges from kernel", k)
+		}
+	}
+}
+
+// TestSameInstantBoundaryOrder pins the instant-splitting case: a
+// zero-delay cross-shard emission must execute before local work the
+// same handler schedules afterwards at the same instant, because the
+// boundary event drew the earlier sequence number.
+func TestSameInstantBoundaryOrder(t *testing.T) {
+	for _, k := range []int{1, 2} {
+		g := shard.NewGroup(k)
+		var order []string
+		g.ScheduleBatch([]sim.BatchEntry{{
+			Delay: time.Millisecond,
+			Aff:   sim.AffinityOf(0),
+			Fn: func() {
+				g.ScheduleBatch([]sim.BatchEntry{{
+					Aff: sim.AffinityOf(1), // zero delay, other shard when K=2
+					Fn:  func() { order = append(order, "boundary") },
+				}})
+				g.ScheduleFunc(0, func() { order = append(order, "local") })
+			},
+		}})
+		if _, err := g.Run(); err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if want := []string{"boundary", "local"}; !reflect.DeepEqual(order, want) {
+			t.Errorf("K=%d same-instant order = %v, want %v", k, order, want)
+		}
+	}
+}
+
+// TestScheduleRefCancelAcrossShards arms a timer before the run and
+// cancels it from a handler on a different shard: the ref must reach
+// into the owning shard's heap, and the cancelled event must not fire.
+func TestScheduleRefCancelAcrossShards(t *testing.T) {
+	g := shard.NewGroup(2)
+	ref := g.ScheduleFuncRef(10*time.Millisecond, func() { t.Error("cancelled timer fired") })
+	if !ref.Pending() {
+		t.Fatal("ref not pending after arm")
+	}
+	fired := false
+	g.ScheduleBatch([]sim.BatchEntry{{
+		Delay: time.Millisecond,
+		Aff:   sim.AffinityOf(1), // shard 1; the ref's timer lives on shard 0
+		Fn: func() {
+			if !ref.Cancel() {
+				t.Error("cross-shard cancel failed")
+			}
+			fired = true
+		},
+	}})
+	if _, err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("canceller never ran")
+	}
+	if g.Pending() != 0 {
+		t.Fatalf("Pending() = %d after cancel+drain", g.Pending())
+	}
+}
+
+// TestStatsShape checks the coordinator counters: K=1 is one claim and
+// zero boundary events by construction; K>1 with cross traffic must
+// show both barriers and exchanges.
+func TestStatsShape(t *testing.T) {
+	g1 := shard.NewGroup(1, shard.WithSeed(wlSeed))
+	w1 := &workload{eng: g1, nodes: wlNodes}
+	w1.seed(wlMsgs, wlHops)
+	if _, err := g1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s := g1.Stats(); s.Claims != 1 || s.Boundaries != 0 {
+		t.Errorf("K=1 stats = %+v, want exactly one claim, no boundaries", s)
+	}
+
+	g4 := shard.NewGroup(4, shard.WithSeed(wlSeed))
+	w4 := &workload{eng: g4, nodes: wlNodes}
+	w4.seed(wlMsgs, wlHops)
+	if _, err := g4.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s := g4.Stats(); s.Claims <= 1 || s.Boundaries == 0 {
+		t.Errorf("K=4 stats = %+v, want many claims and boundary events", s)
+	}
+}
+
+// TestNewGroupValidation pins the constructor contract.
+func TestNewGroupValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGroup(0) did not panic")
+		}
+	}()
+	shard.NewGroup(0)
+}
+
+// TestRaceStress exercises the barrier protocol under the race
+// detector: a run with heavy cross-shard traffic while an outside
+// goroutine polls the lock-free stats surface and fires one Stop. The
+// output is nondeterministic (the stop lands wherever it lands); the
+// assertions are only that the protocol survives, the engine stays
+// resumable, and the counters agree.
+func TestRaceStress(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		g := shard.NewGroup(4, shard.WithSeed(int64(trial)))
+		w := &workload{eng: g, nodes: wlNodes}
+		w.seed(wlMsgs, wlHops)
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = g.Executed()
+				_ = g.Pending()
+				_ = g.Now()
+				if i == 50 {
+					g.Stop()
+				}
+			}
+		}()
+
+		n, err := g.Run()
+		close(stop)
+		wg.Wait()
+		if err != nil && !errors.Is(err, sim.ErrStopped) {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err != nil { // stopped mid-run: must resume cleanly
+			m, err2 := g.Run()
+			if err2 != nil && !errors.Is(err2, sim.ErrStopped) {
+				t.Fatalf("trial %d resume: %v", trial, err2)
+			}
+			n += m
+			if err2 != nil { // a second stale stop is possible; drain it
+				m, err3 := g.Run()
+				if err3 != nil {
+					t.Fatalf("trial %d second resume: %v", trial, err3)
+				}
+				n += m
+			}
+		}
+		if got := g.Executed(); got != uint64(n) || int(got) != len(w.trace) {
+			t.Fatalf("trial %d: Executed()=%d, run sum=%d, trace=%d", trial, got, n, len(w.trace))
+		}
+		if g.Pending() != 0 {
+			t.Fatalf("trial %d: Pending()=%d after drain", trial, g.Pending())
+		}
+	}
+}

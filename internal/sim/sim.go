@@ -102,11 +102,13 @@ func (t *Timer) Cancel() bool {
 		k.queue.remove(int(t.index))
 		t.state.Store(stateDone)
 		t.fn = nil
+		k.pending.Add(-1)
 		return true
 	case stateRunnable:
 		// The timer sits in an executing batch; race the run loop for it.
 		if t.state.CompareAndSwap(stateRunnable, stateDone) {
 			t.fn = nil
+			k.pending.Add(-1)
 			return true
 		}
 		return false
@@ -160,6 +162,7 @@ func (r TimerRef) Cancel() bool {
 		k.queue.remove(int(t.index))
 		t.state.Store(stateDone)
 		t.fn = nil
+		k.pending.Add(-1)
 		// Unlike an escaped *Timer handle, the ref self-invalidates via
 		// the seq check, so a cancelled timer can go straight back to the
 		// free list — this is what keeps arm/cancel loops allocation-free.
@@ -168,6 +171,7 @@ func (r TimerRef) Cancel() bool {
 	case stateRunnable:
 		if t.state.CompareAndSwap(stateRunnable, stateDone) {
 			t.fn = nil
+			k.pending.Add(-1)
 			return true
 		}
 		return false
@@ -192,6 +196,11 @@ func (r TimerRef) Pending() bool {
 type BatchEntry struct {
 	Delay time.Duration
 	Fn    func()
+	// Aff optionally names the routing key (a network slot) this event
+	// belongs to; see Affinity. The single-threaded kernel ignores it; a
+	// sharded engine routes the event to the shard owning the key, which
+	// is how a cross-shard network delivery becomes a boundary event.
+	Aff Affinity
 }
 
 // Kernel is a deterministic discrete-event scheduler over virtual time.
@@ -208,6 +217,11 @@ type Kernel struct {
 
 	stopped  atomic.Bool
 	executed atomic.Uint64
+	// pending mirrors queue length + runnable batch entries so Pending
+	// can serve the stats path lock-free, like the executed counter. It
+	// is incremented on schedule and decremented exactly once per event
+	// on execution or successful cancellation.
+	pending atomic.Int64
 }
 
 // NewKernel returns a kernel at virtual time zero.
@@ -230,18 +244,11 @@ func (k *Kernel) Now() time.Duration {
 // by experiments as a platform-neutral proxy for computational work.
 func (k *Kernel) Executed() uint64 { return k.executed.Load() }
 
-// Pending returns the number of scheduled, not yet executed events.
-func (k *Kernel) Pending() int {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	n := k.queue.len()
-	for _, t := range k.batch {
-		if t.state.Load() == stateRunnable {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled, not yet executed events. It
+// reads a cached length maintained alongside the heap, so the stats
+// path never contends with the scheduling hot path for the kernel lock
+// (the same pattern as Executed).
+func (k *Kernel) Pending() int { return int(k.pending.Load()) }
 
 // Rand returns the kernel's deterministic random source. It must only be
 // used from inside event handlers (or before the simulation starts) to keep
@@ -350,6 +357,7 @@ func (k *Kernel) scheduleLocked(at time.Duration, fn func(), escaped bool) *Time
 	t.fn = fn
 	t.escaped = escaped
 	t.state.Store(statePending)
+	k.pending.Add(1)
 	k.queue.push(t)
 	return t
 }
@@ -392,6 +400,7 @@ func (k *Kernel) Step() bool {
 	}
 	t := k.queue.popMin()
 	t.state.Store(stateDone)
+	k.pending.Add(-1)
 	k.now = t.at
 	k.executed.Add(1)
 	fn := t.fn
@@ -408,7 +417,7 @@ func (k *Kernel) Step() bool {
 // events executed. It returns ErrStopped if Stop was called, or an error if
 // the configured event limit was exceeded.
 func (k *Kernel) Run() (int, error) {
-	return k.run(func() bool { return true })
+	return k.run(nil)
 }
 
 // RunUntil executes events with timestamps <= deadline, then advances the
@@ -427,7 +436,8 @@ func (k *Kernel) RunUntil(deadline time.Duration) (int, error) {
 }
 
 // run executes events while cond (evaluated under the lock, with a
-// non-empty queue) holds.
+// non-empty queue) holds; a nil cond means "always" and skips the
+// per-pop indirect call on the unconditional Run path.
 //
 // Each loop iteration pops every event of the earliest instant into a
 // batch in one critical section and executes the batch outside the lock:
@@ -447,7 +457,7 @@ func (k *Kernel) run(cond func() bool) (int, error) {
 			k.mu.Unlock()
 			return executed, ErrStopped
 		}
-		if k.queue.len() == 0 || !cond() {
+		if k.queue.len() == 0 || (cond != nil && !cond()) {
 			k.mu.Unlock()
 			return executed, nil
 		}
@@ -459,7 +469,12 @@ func (k *Kernel) run(cond func() bool) (int, error) {
 		}
 		at := k.queue.min().at
 		k.now = at
-		for k.queue.len() > 0 && k.queue.min().at == at {
+		// cond is re-evaluated per pop, not just per instant: a claim
+		// bound (RunCond) may fall inside an instant when another shard
+		// holds an interleaved sequence number, and the batch must stop
+		// exactly there. Run's constant-true and RunUntil's same-instant
+		// condition make the extra checks free of behaviour change.
+		for k.queue.len() > 0 && k.queue.min().at == at && (cond == nil || cond()) {
 			t := k.queue.popMin()
 			t.state.Store(stateRunnable)
 			k.batch = append(k.batch, t)
@@ -483,6 +498,7 @@ func (k *Kernel) run(cond func() bool) (int, error) {
 			}
 			fn := t.fn
 			t.fn = nil
+			k.pending.Add(-1)
 			k.executed.Add(1)
 			fn()
 			executed++

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Timebase is the scheduling surface the simulated network, the protocol
+// framework and the middleware platform consume. It is the seam that
+// makes the execution engine pluggable: the single-threaded *Kernel and
+// the sharded multi-kernel coordinator (internal/sim/shard.Group) both
+// implement it, so every consumer is written once and the engine is
+// chosen at construction time — by the workload driver, not by the
+// layers.
+//
+// Contract (both implementations): methods must be called either before
+// the engine starts running or from inside an event handler. Handlers
+// execute one at a time in deterministic (at, shard, seq) order, and the
+// *rand.Rand returned by Rand must only be drawn from inside handlers
+// (or during setup) to keep runs reproducible.
+type Timebase interface {
+	// Now returns the current virtual time.
+	Now() time.Duration
+	// ScheduleFunc arranges for fn to run after a virtual delay — the
+	// fire-and-forget fast path (no handle, timers recycle).
+	ScheduleFunc(delay time.Duration, fn func())
+	// ScheduleFuncRef is ScheduleFunc with a recyclable cancellation
+	// handle (see TimerRef).
+	ScheduleFuncRef(delay time.Duration, fn func()) TimerRef
+	// ScheduleBatch schedules every entry in slice order under one
+	// coordination step. Entries may carry an Affinity routing key; the
+	// single-threaded kernel ignores it, a sharded engine uses it to
+	// place the event on the shard owning that key.
+	ScheduleBatch(entries []BatchEntry)
+	// Rand returns the engine's deterministic random source.
+	Rand() *rand.Rand
+}
+
+// Engine is the full execution surface a workload driver holds: the
+// consumer-facing Timebase plus run control. *Kernel and shard.Group
+// both implement it.
+type Engine interface {
+	Timebase
+	// Run executes events until the queue drains, Stop is called, or the
+	// event limit is exceeded.
+	Run() (int, error)
+	// RunUntil executes events with timestamps <= deadline, then advances
+	// the clock to the deadline.
+	RunUntil(deadline time.Duration) (int, error)
+	// Stop aborts an in-progress run at the next event boundary.
+	Stop()
+	// Executed returns the total number of events executed.
+	Executed() uint64
+	// Pending returns the number of scheduled, not yet executed events.
+	Pending() int
+}
+
+// Affinity is an opaque routing key carried on a BatchEntry, encoded as
+// key+1 so the zero value means "no affinity" (the event stays on the
+// scheduling shard). The simulated network stamps delivery events with
+// the destination node's dense slot, which is what lets a sharded engine
+// route each delivery to the shard owning the destination without the
+// sim layer knowing anything about nodes.
+type Affinity int32
+
+// AffinityOf returns the Affinity for a non-negative routing key (a
+// network slot).
+func AffinityOf(key int32) Affinity { return Affinity(key + 1) }
+
+// Key returns the routing key and whether one is present.
+func (a Affinity) Key() (int32, bool) { return int32(a) - 1, a > 0 }
+
+// Compile-time checks: the kernel satisfies the extracted surfaces.
+var (
+	_ Timebase = (*Kernel)(nil)
+	_ Engine   = (*Kernel)(nil)
+)
+
+// ---------------------------------------------------------------------------
+// Shard-coordinator SPI.
+//
+// The methods below exist for internal/sim/shard.Group, which merges K
+// kernels into one deterministic engine. They give the coordinator the
+// three capabilities the public API deliberately hides: scheduling under
+// an externally allocated sequence number (the group's global counter is
+// what keeps the merged (at, shard, seq) order total and K-invariant),
+// peeking at a kernel's next key (the conservative claim bound), and
+// running a kernel while a caller-supplied key condition holds (one
+// barrier-to-barrier claim). Application code has no business calling
+// them; they are exported only because shard is a separate package.
+// ---------------------------------------------------------------------------
+
+// ScheduleKeyed schedules fn after a virtual delay under an explicit
+// sequence number allocated by a coordinator. A negative delay is
+// treated as zero. The timer recycles like ScheduleFunc's; the returned
+// ref is valid until the event fires or is cancelled.
+//
+//repolint:hotpath
+func (k *Kernel) ScheduleKeyed(delay time.Duration, seq uint64, fn func()) TimerRef {
+	if delay < 0 {
+		delay = 0
+	}
+	k.mu.Lock()
+	t := k.scheduleKeyedLocked(k.now+delay, seq, fn)
+	k.mu.Unlock()
+	return TimerRef{t: t, seq: seq}
+}
+
+// InjectKeyed schedules fn at an absolute virtual instant under an
+// explicit sequence number. It is the boundary-event entry point: a
+// coordinator uses it to move an event stamped (at, shard, seq) on one
+// shard into the heap of another. The instant must not precede the
+// kernel's current time; conservative synchronization guarantees that
+// for boundary traffic, and the kernel panics on violations rather than
+// silently reordering history.
+//
+//repolint:hotpath
+func (k *Kernel) InjectKeyed(at time.Duration, seq uint64, fn func()) TimerRef {
+	k.mu.Lock()
+	if at < k.now {
+		k.mu.Unlock()
+		panic("sim: InjectKeyed into the past")
+	}
+	t := k.scheduleKeyedLocked(at, seq, fn)
+	k.mu.Unlock()
+	return TimerRef{t: t, seq: seq}
+}
+
+// scheduleKeyedLocked is scheduleLocked with a caller-supplied key: same
+// free-list recycling, no internal sequence allocation.
+//
+//repolint:hotpath
+func (k *Kernel) scheduleKeyedLocked(at time.Duration, seq uint64, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: ScheduleKeyed called with nil function")
+	}
+	var t *Timer
+	if n := len(k.free); n > 0 {
+		t = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		t = &Timer{kernel: k}
+	}
+	t.seq = seq
+	t.at = at
+	t.fn = fn
+	t.escaped = false
+	t.state.Store(statePending)
+	k.pending.Add(1)
+	k.queue.push(t)
+	return t
+}
+
+// PeekNext returns the key of the kernel's earliest pending event. ok is
+// false when no event is pending. A coordinator uses the second-smallest
+// key across shards as the claim bound for the shard holding the
+// smallest.
+func (k *Kernel) PeekNext() (at time.Duration, seq uint64, ok bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.queue.len() == 0 {
+		return 0, 0, false
+	}
+	m := k.queue.min()
+	return m.at, m.seq, true
+}
+
+// RunCond executes events while cond, applied to the next pending
+// event's key, returns true. It is the claim execution primitive of the
+// shard barrier protocol: the condition is evaluated before each instant
+// is popped, so execution stops exactly at the first event at or beyond
+// the claim bound, leaving it pending. Stop and the event limit are
+// honoured exactly as in Run.
+func (k *Kernel) RunCond(cond func(at time.Duration, seq uint64) bool) (int, error) {
+	return k.run(func() bool {
+		m := k.queue.min()
+		return cond(m.at, m.seq)
+	})
+}
+
+// ConsumeStop clears a pending Stop request, reporting whether one was
+// set. A coordinator calls it when tearing down a multi-kernel run so a
+// Stop aimed at a kernel that never got dispatched again cannot poison a
+// later run.
+func (k *Kernel) ConsumeStop() bool { return k.stopped.CompareAndSwap(true, false) }
+
+// SetEventLimit replaces the kernel's event limit (see WithEventLimit);
+// zero removes it. A coordinator sets the remaining group budget before
+// each claim so a group-level limit aborts mid-claim exactly where a
+// single kernel's would. It must not be called while the kernel is
+// running.
+func (k *Kernel) SetEventLimit(n int) { k.eventLimit = n }
+
+// AdvanceTo moves the kernel clock forward to t (never backward). A
+// coordinator uses it to realize RunUntil's advance-to-deadline
+// semantics across every shard.
+func (k *Kernel) AdvanceTo(t time.Duration) {
+	k.mu.Lock()
+	if k.now < t {
+		k.now = t
+	}
+	k.mu.Unlock()
+}

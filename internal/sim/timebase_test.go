@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The tests below pin the shard-coordinator SPI directly at the kernel,
+// independent of internal/sim/shard: explicit-sequence scheduling, key
+// peeking, conditional runs, and the run-control helpers the group
+// coordinator composes into its barrier protocol.
+
+func TestAffinityEncoding(t *testing.T) {
+	var zero Affinity
+	if key, ok := zero.Key(); ok {
+		t.Fatalf("zero Affinity yields key %d, want none", key)
+	}
+	for _, slot := range []int32{0, 1, 7, 1 << 20} {
+		a := AffinityOf(slot)
+		key, ok := a.Key()
+		if !ok || key != slot {
+			t.Fatalf("AffinityOf(%d).Key() = (%d, %v), want (%d, true)", slot, key, ok, slot)
+		}
+	}
+}
+
+func TestScheduleKeyedOrdersBySuppliedSeq(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	// Same instant, sequence numbers supplied out of submission order:
+	// execution must follow seq, not insertion.
+	k.ScheduleKeyed(time.Millisecond, 30, func() { got = append(got, 3) })
+	k.ScheduleKeyed(time.Millisecond, 10, func() { got = append(got, 1) })
+	k.ScheduleKeyed(-time.Millisecond, 20, func() { got = append(got, 2) }) // negative delay clamps to now
+	if _, err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{2, 1, 3} // the clamped event fires at t=0, before the t=1ms pair
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScheduleKeyedRefCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	ref := k.ScheduleKeyed(time.Millisecond, 1, func() { fired = true })
+	if !ref.Cancel() {
+		t.Fatal("Cancel on a pending keyed timer reported false")
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("cancelled keyed timer fired")
+	}
+}
+
+func TestScheduleKeyedNilFuncPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("ScheduleKeyed(nil) did not panic")
+		}
+	}()
+	NewKernel().ScheduleKeyed(time.Millisecond, 1, nil)
+}
+
+func TestInjectKeyed(t *testing.T) {
+	k := NewKernel()
+	var at time.Duration
+	k.InjectKeyed(5*time.Millisecond, 7, func() { at = k.Now() })
+	if _, err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 5*time.Millisecond {
+		t.Fatalf("injected event ran at %v, want 5ms", at)
+	}
+}
+
+func TestInjectKeyedIntoPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.ScheduleFunc(10*time.Millisecond, func() {})
+	if _, err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("InjectKeyed into the past did not panic")
+		}
+		if !strings.Contains(r.(string), "past") {
+			t.Fatalf("panic message %q does not mention the past", r)
+		}
+	}()
+	k.InjectKeyed(5*time.Millisecond, 1, func() {})
+}
+
+func TestPeekNext(t *testing.T) {
+	k := NewKernel()
+	if _, _, ok := k.PeekNext(); ok {
+		t.Fatal("PeekNext on an empty kernel reported an event")
+	}
+	k.ScheduleKeyed(2*time.Millisecond, 9, func() {})
+	k.ScheduleKeyed(time.Millisecond, 4, func() {})
+	at, seq, ok := k.PeekNext()
+	if !ok || at != time.Millisecond || seq != 4 {
+		t.Fatalf("PeekNext = (%v, %d, %v), want (1ms, 4, true)", at, seq, ok)
+	}
+}
+
+func TestRunCondStopsAtBound(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 1; i <= 4; i++ {
+		i := i
+		k.ScheduleFunc(time.Duration(i)*time.Millisecond, func() { got = append(got, i) })
+	}
+	// Claim everything strictly before t=3ms.
+	bound := 3 * time.Millisecond
+	n, err := k.RunCond(func(at time.Duration, _ uint64) bool { return at < bound })
+	if err != nil {
+		t.Fatalf("RunCond: %v", err)
+	}
+	if n != 2 || len(got) != 2 {
+		t.Fatalf("RunCond executed %d events (%v), want the 2 below the bound", n, got)
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("Pending = %d after a bounded claim, want 2", k.Pending())
+	}
+	// The remainder is intact: a second, unbounded run drains it in order.
+	if _, err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConsumeStop(t *testing.T) {
+	k := NewKernel()
+	// A Stop observed by a run is consumed by that run.
+	k.ScheduleFunc(time.Millisecond, func() { k.Stop() })
+	k.ScheduleFunc(2*time.Millisecond, func() {})
+	if _, err := k.Run(); err != ErrStopped {
+		t.Fatalf("Run after Stop: err = %v, want ErrStopped", err)
+	}
+	if k.ConsumeStop() {
+		t.Fatal("ConsumeStop found a stop the run already consumed")
+	}
+	// A Stop aimed at a kernel that never runs again is what ConsumeStop
+	// exists to clear at coordinator teardown.
+	k.Stop()
+	if !k.ConsumeStop() {
+		t.Fatal("ConsumeStop found no pending stop")
+	}
+	if k.ConsumeStop() {
+		t.Fatal("ConsumeStop consumed a stop twice")
+	}
+	// With the stop cleared the remaining event runs normally.
+	if n, err := k.Run(); err != nil || n != 1 {
+		t.Fatalf("Run after ConsumeStop = (%d, %v), want (1, nil)", n, err)
+	}
+}
+
+func TestSetEventLimit(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 5; i++ {
+		k.ScheduleFunc(time.Duration(i+1)*time.Millisecond, func() {})
+	}
+	k.SetEventLimit(3)
+	n, err := k.Run()
+	if err == nil || n != 3 {
+		t.Fatalf("limited Run = (%d, %v), want 3 events and a limit error", n, err)
+	}
+	k.SetEventLimit(0) // zero removes the limit
+	if n, err := k.Run(); err != nil || n != 2 {
+		t.Fatalf("unlimited Run = (%d, %v), want (2, nil)", n, err)
+	}
+}
+
+func TestEventLimitAbortsMidBatch(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 4; i++ {
+		i := i
+		k.ScheduleFunc(time.Millisecond, func() { got = append(got, i) })
+	}
+	k.SetEventLimit(2)
+	// All four share one instant, so the limit trips mid-batch and the
+	// unexecuted tail must go back into the heap under its original keys.
+	n, err := k.Run()
+	if err == nil || n != 2 {
+		t.Fatalf("limited Run = (%d, %v), want 2 events and a limit error", n, err)
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("Pending = %d after mid-batch abort, want 2", k.Pending())
+	}
+	k.SetEventLimit(0)
+	if _, err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{0, 1, 2, 3} // replay preserves the original FIFO order
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	k := NewKernel()
+	k.AdvanceTo(10 * time.Millisecond)
+	if k.Now() != 10*time.Millisecond {
+		t.Fatalf("Now = %v after AdvanceTo, want 10ms", k.Now())
+	}
+	k.AdvanceTo(5 * time.Millisecond) // never backward
+	if k.Now() != 10*time.Millisecond {
+		t.Fatalf("Now = %v after backward AdvanceTo, want 10ms", k.Now())
+	}
+}
+
+func TestTimerWhen(t *testing.T) {
+	k := NewKernel()
+	tm := k.Schedule(7*time.Millisecond, func() {})
+	if tm.When() != 7*time.Millisecond {
+		t.Fatalf("When = %v, want 7ms", tm.When())
+	}
+}

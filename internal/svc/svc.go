@@ -172,7 +172,7 @@ func (s *Service) Bind(p *middleware.Platform, patterns ...middleware.Pattern) (
 		return nil, &classed{class: ErrAlreadyBound, cause: fmt.Errorf("service %q", s.spec.Name)}
 	}
 	s.bound = true
-	return &Binding{svc: s, plat: p, kernel: p.Kernel()}, nil
+	return &Binding{svc: s, plat: p, tb: p.Time()}, nil
 }
 
 // Binding is a Service bound to one middleware platform: the factory for
@@ -180,9 +180,9 @@ func (s *Service) Bind(p *middleware.Platform, patterns ...middleware.Pattern) (
 // deliberately not exposed — the binding is the application's whole
 // window onto the middleware.
 type Binding struct {
-	svc    *Service
-	plat   *middleware.Platform
-	kernel *sim.Kernel
+	svc  *Service
+	plat *middleware.Platform
+	tb   sim.Timebase
 }
 
 // Service returns the bound service declaration.
@@ -268,7 +268,7 @@ func (b *Binding) applyOptions(op string, opts []PortOption) (portConfig, error)
 
 // observeOut reports an outbound interaction to the endpoint monitor,
 // vetoing on error.
-func (c *portConfig) observeOut(k *sim.Kernel, params codec.Record) error {
+func (c *portConfig) observeOut(k sim.Timebase, params codec.Record) error {
 	if c.monitor == nil {
 		return nil
 	}
@@ -282,7 +282,7 @@ func (c *portConfig) observeOut(k *sim.Kernel, params codec.Record) error {
 // observeIn reports an inbound interaction to the endpoint monitor.
 // Violations on the inbound path are recorded by the monitor itself (the
 // delivery already happened on the wire); they do not veto the handler.
-func (c *portConfig) observeIn(k *sim.Kernel, params codec.Record) {
+func (c *portConfig) observeIn(k sim.Timebase, params codec.Record) {
 	if c.monitor == nil {
 		return
 	}
@@ -292,7 +292,7 @@ func (c *portConfig) observeIn(k *sim.Kernel, params codec.Record) {
 // observeInOp is observeIn for multi-operation endpoints (exports): the
 // dispatched operation names the event primitive unless the config pins
 // one explicitly.
-func (c *portConfig) observeInOp(k *sim.Kernel, op string, params codec.Record) {
+func (c *portConfig) observeInOp(k sim.Timebase, op string, params codec.Record) {
 	if c.monitor == nil {
 		return
 	}
