@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-smoke bench-kernel bench-codec bench-path bench-svc bench-shard bench-baseline bench-baseline-codec bench-baseline-path bench-baseline-svc bench-baseline-shard bench-regression sweep sweep-large profile fig fuzz cover fmt vet repolint lint check clean help
+.PHONY: all build test bench bench-smoke bench-kernel bench-codec bench-path bench-svc bench-shard bench-xl bench-baseline bench-baseline-codec bench-baseline-path bench-baseline-svc bench-baseline-shard bench-baseline-xl bench-regression sweep sweep-large sweep-xl linkcheck profile fig fuzz cover fmt vet repolint lint check clean help
 
 all: check
 
@@ -40,6 +40,11 @@ bench-svc:
 bench-shard:
 	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/sim/shard
 
+# The XL fan-out suite (federated broker tree vs flat baseline at 65,536
+# sinks) at the CI gate's repetition count.
+bench-xl:
+	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/fanout
+
 # Refresh the committed kernel benchmark baseline (commit the result).
 bench-baseline:
 	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/sim | \
@@ -69,6 +74,12 @@ bench-baseline-shard:
 		$(GO) run ./cmd/benchcmp -record -out BENCH_shard.json \
 			-note "Refresh with: make bench-baseline-shard (see README, Performance & CI gates)."
 
+# Refresh the committed XL fan-out benchmark baseline (commit the result).
+bench-baseline-xl:
+	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/fanout | \
+		$(GO) run ./cmd/benchcmp -record -out BENCH_xl.json \
+			-note "Refresh with: make bench-baseline-xl (see README, Performance & CI gates)."
+
 # The CI bench-regression gates, locally.
 bench-regression:
 	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/sim | \
@@ -81,6 +92,8 @@ bench-regression:
 		$(GO) run ./cmd/benchcmp -baseline BENCH_svc.json -threshold 1.20 -normalize Calibrate
 	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/sim/shard | \
 		$(GO) run ./cmd/benchcmp -baseline BENCH_shard.json -threshold 1.20 -normalize Calibrate
+	$(GO) test -run XXX -bench . -benchtime 500ms -count 6 ./internal/fanout | \
+		$(GO) run ./cmd/benchcmp -baseline BENCH_xl.json -threshold 1.20 -normalize Calibrate
 
 # The CI fuzz job, locally (bounded).
 fuzz:
@@ -100,6 +113,18 @@ sweep:
 # loss {0,1}% — the fan-out regime the dense routing plane pays for.
 sweep-large:
 	$(GO) run ./cmd/sweep -clients 64,128,256 -loss 0,0.01 -cycles 4
+
+# The million-client band: a 1,048,576-subscriber federated fan-out and
+# a 100,000-client floor-control run on the sharded engine (see
+# runner.XLBand and EXPERIMENTS.md for runtimes). XLSCALE divides the
+# populations — CI smoke uses XLSCALE=1024.
+XLSCALE ?= 1
+sweep-xl:
+	$(GO) run ./cmd/sweep -band xl -shards 4 -xlscale $(XLSCALE)
+
+# Check every relative link and heading anchor in the top-level docs.
+linkcheck:
+	$(GO) run ./cmd/linkcheck README.md DESIGN.md EXPERIMENTS.md ROADMAP.md
 
 # CPU + allocation profiles of the full 120-scenario sweep (writes
 # cpu.pprof and mem.pprof; inspect with `go tool pprof cpu.pprof`).
@@ -152,6 +177,8 @@ help:
 	@echo "bench-baseline*  refresh a committed benchmark baseline"
 	@echo "sweep            the 120-scenario cross-product sweep"
 	@echo "sweep-large      the large-client fan-out band"
+	@echo "sweep-xl         the million-client band (XLSCALE=n divides populations)"
+	@echo "linkcheck        verify relative links + anchors in the top-level docs"
 	@echo "profile          CPU+alloc profiles of the full sweep"
 	@echo "fuzz             bounded kernel + codec fuzzing"
 	@echo "cover            coverage profile + per-function summary"

@@ -1,0 +1,40 @@
+// Command linkcheck validates relative links and heading anchors in
+// markdown documentation (see internal/doccheck). CI and `make
+// linkcheck` run it over the top-level docs; it exits non-zero and
+// prints one line per broken link when anything dangles.
+//
+// Usage:
+//
+//	linkcheck README.md DESIGN.md EXPERIMENTS.md ROADMAP.md
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/doccheck"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck file.md [file.md ...]")
+		return 2
+	}
+	problems, err := doccheck.CheckFiles(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+		return 1
+	}
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken links\n", len(problems))
+		return 1
+	}
+	return 0
+}

@@ -9,6 +9,8 @@
 //	sweep -solutions mw-token,proto-token  # restrict the solution dimension
 //	sweep -loss 0,0.05 -subs 4,16          # restrict swept dimensions
 //	sweep -clients 64,128,256              # large-client band (overrides -subs)
+//	sweep -band xl -shards 4               # million-client band (see runner.XLBand)
+//	sweep -band xl -xlscale 1024           # scaled-down xl smoke (same code paths)
 //	sweep -shards 4                        # sharded engine; byte-identical output
 //	sweep -format csv -out sweep.csv       # machine-readable output
 //	sweep -cpuprofile cpu.pprof            # profile the sweep (see make profile)
@@ -48,6 +50,8 @@ func run() int {
 	loss := flag.String("loss", "0,0.01,0.05,0.1", "comma-separated link loss rates (fractions)")
 	cycles := flag.Int("cycles", 6, "acquire/hold/release cycles per subscriber")
 	shards := flag.Int("shards", 0, "sim kernels per scenario (0 or 1 = single kernel; results are identical for any value)")
+	band := flag.String("band", "", "named scenario band: default, large, or xl (overrides the dimension flags)")
+	xlscale := flag.Int("xlscale", 1, "population divisor for -band xl (CI smoke runs use e.g. 1024)")
 	seed := flag.Int64("seed", 42, "base sweep seed (per-scenario seeds are derived from it)")
 	parallel := flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
 	format := flag.String("format", "table", "output format: table, json, or csv")
@@ -67,6 +71,28 @@ func run() int {
 
 	if *shards < 0 {
 		fmt.Fprintf(os.Stderr, "sweep: -shards: value %d is negative\n", *shards)
+		return 2
+	}
+	if *xlscale < 1 {
+		fmt.Fprintf(os.Stderr, "sweep: -xlscale: value %d is not positive\n", *xlscale)
+		return 2
+	}
+	var scenarios []runner.Scenario
+	switch *band {
+	case "":
+		// Dimension flags below assemble the matrix.
+	case "default":
+		spec := runner.DefaultBand()
+		spec.Shards = *shards
+		scenarios = spec.Scenarios()
+	case "large":
+		m := runner.LargeClientBand()
+		m.Shards = *shards
+		scenarios = m.Scenarios()
+	case "xl":
+		scenarios = runner.XLBand(*xlscale, *shards)
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: -band: unknown band %q (default, large, xl)\n", *band)
 		return 2
 	}
 	matrix := runner.Matrix{Cycles: *cycles, Shards: *shards}
@@ -104,7 +130,9 @@ func run() int {
 		return 2
 	}
 
-	scenarios := matrix.Scenarios()
+	if scenarios == nil {
+		scenarios = matrix.Scenarios()
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -178,12 +206,41 @@ func run() int {
 		}
 		fmt.Fprintf(os.Stderr, "sweep: %d scenarios on %d workers in %s\n",
 			len(scenarios), workers, elapsed.Round(time.Millisecond))
+		if rss, ok := peakRSS(); ok {
+			fmt.Fprintf(os.Stderr, "sweep: peak RSS %.1f MiB\n", float64(rss)/(1<<20))
+		}
 	}
 	if serr := report.Err(); serr != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", serr)
 		return 1
 	}
 	return 0
+}
+
+// peakRSS reads the process's peak resident set size (VmHWM) from
+// /proc/self/status. Best-effort and Linux-only: callers print it when
+// available and stay silent otherwise. It backs the xl band's O(1)
+// memory-per-client claim with a measured number.
+func peakRSS() (uint64, bool) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0, false
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb << 10, true
+	}
+	return 0, false
 }
 
 func parseInts(csv string) ([]int, error) {

@@ -9,4 +9,9 @@
 // bench-regression job (±20% geomean, allocation regressions fail).
 // Names are load-bearing — renaming one silently drops it from the gate
 // until the baseline is refreshed with `make bench-baseline-path`.
+//
+// This suite measures the flat broker at small fan-outs (8–64
+// subscribers); the XL fan-out regime — the federated broker tree at
+// tens of thousands of sinks — has its own suite and baseline in
+// internal/fanout (BENCH_xl.json, `make bench-baseline-xl`).
 package delivery

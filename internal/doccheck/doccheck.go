@@ -1,0 +1,144 @@
+// Package doccheck validates relative links and heading anchors in the
+// repository's markdown documentation. It is the library behind
+// cmd/linkcheck (make linkcheck): every [text](target) whose target is
+// not an absolute URL must name an existing file relative to the
+// document, and every #fragment — on the document itself or on a linked
+// markdown file — must match a heading's GitHub-style anchor.
+package doccheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// Problem is one broken link: the document that contains it, the line it
+// appears on (1-based), the raw link target, and what is wrong with it.
+type Problem struct {
+	File   string
+	Line   int
+	Target string
+	Reason string
+}
+
+func (p Problem) String() string {
+	return fmt.Sprintf("%s:%d: link %q: %s", p.File, p.Line, p.Target, p.Reason)
+}
+
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// CheckFile validates every relative link in one markdown document and
+// returns the problems found (nil for a clean document). Absolute URLs
+// (any scheme://, mailto:) are not checked — the repository's docs must
+// stay verifiable offline.
+func CheckFile(path string) ([]Problem, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var problems []Problem
+	dir := filepath.Dir(path)
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if reason := checkTarget(path, dir, target); reason != "" {
+				problems = append(problems, Problem{File: path, Line: i + 1, Target: target, Reason: reason})
+			}
+		}
+	}
+	return problems, nil
+}
+
+// CheckFiles runs CheckFile over every path and concatenates the
+// problems in argument order.
+func CheckFiles(paths []string) ([]Problem, error) {
+	var problems []Problem
+	for _, p := range paths {
+		ps, err := CheckFile(p)
+		if err != nil {
+			return nil, err
+		}
+		problems = append(problems, ps...)
+	}
+	return problems, nil
+}
+
+// checkTarget validates one relative link target against the filesystem
+// and, for fragments, against the target document's headings. It returns
+// the failure reason, or "" when the target resolves.
+func checkTarget(doc, dir, target string) string {
+	file, frag, _ := strings.Cut(target, "#")
+	resolved := doc
+	if file != "" {
+		resolved = filepath.Join(dir, file)
+		info, err := os.Stat(resolved)
+		if err != nil {
+			return "file does not exist"
+		}
+		if frag == "" {
+			return ""
+		}
+		if info.IsDir() || !strings.HasSuffix(resolved, ".md") {
+			return "anchor on a non-markdown target"
+		}
+	}
+	anchors, err := headingAnchors(resolved)
+	if err != nil {
+		return "cannot read anchor target"
+	}
+	if !anchors[strings.ToLower(frag)] {
+		return "no heading with this anchor"
+	}
+	return ""
+}
+
+var nonAnchorRE = regexp.MustCompile(`[^a-z0-9 _-]`)
+
+// headingAnchors extracts the GitHub-style anchor set of a markdown
+// file: every heading lowercased, punctuation stripped, spaces turned
+// into hyphens, with -1, -2, … suffixes for repeated headings.
+func headingAnchors(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	anchors := make(map[string]bool)
+	counts := make(map[string]int)
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		if text == "" || !strings.HasPrefix(text, " ") {
+			continue
+		}
+		a := strings.ToLower(strings.TrimSpace(text))
+		a = nonAnchorRE.ReplaceAllString(a, "")
+		a = strings.ReplaceAll(a, " ", "-")
+		if n := counts[a]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", a, n)] = true
+		} else {
+			anchors[a] = true
+		}
+		counts[a]++
+	}
+	return anchors, nil
+}

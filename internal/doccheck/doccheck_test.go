@@ -1,0 +1,88 @@
+package doccheck
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckFileCleanDocument(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "other.md", "# Other Doc\n\n## Deep Dive: §1.7, really!\n")
+	doc := write(t, dir, "doc.md", `# Title
+
+See [other](other.md), [a heading](other.md#deep-dive-17-really),
+[self](#title), [web](https://example.com/x#y), and [mail](mailto:a@b).
+
+`+"```"+`
+[not a link](missing.md) — inside a code fence
+`+"```"+`
+`)
+	problems, err := CheckFile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Errorf("unexpected problem: %s", p)
+	}
+}
+
+func TestCheckFileBrokenLinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "other.md", "# Other\n")
+	write(t, dir, "data.csv", "a,b\n")
+	doc := write(t, dir, "doc.md", `# Title
+[gone](missing.md)
+[bad anchor](other.md#nope)
+[bad self anchor](#also-nope)
+[anchor on csv](data.csv#x)
+`)
+	problems, err := CheckFile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 4 {
+		t.Fatalf("got %d problems, want 4: %v", len(problems), problems)
+	}
+	wantLines := []int{2, 3, 4, 5}
+	wantReasons := []string{
+		"file does not exist",
+		"no heading with this anchor",
+		"no heading with this anchor",
+		"anchor on a non-markdown target",
+	}
+	for i, p := range problems {
+		if p.Line != wantLines[i] || p.Reason != wantReasons[i] {
+			t.Errorf("problem %d = %s, want line %d reason %q", i, p, wantLines[i], wantReasons[i])
+		}
+	}
+}
+
+func TestHeadingAnchorsDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	path := write(t, dir, "d.md", "# Setup\n## Setup\n### Setup\n")
+	anchors, err := headingAnchors(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"setup", "setup-1", "setup-2"} {
+		if !anchors[want] {
+			t.Errorf("anchor %q missing (got %v)", want, anchors)
+		}
+	}
+}
+
+func TestCheckFilesPropagatesReadError(t *testing.T) {
+	if _, err := CheckFiles([]string{"does-not-exist.md"}); err == nil {
+		t.Fatal("expected an error for a missing document")
+	}
+}

@@ -1,0 +1,98 @@
+package fanout
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFanoutDelivery pins the basic accounting of a federated run:
+// every sink fires once per publish, the latency histogram sees every
+// delivery, and middleware wire accounting matches the tree shape.
+func TestFanoutDelivery(t *testing.T) {
+	cfg := Config{Subscribers: 24, Nodes: 6, Leaves: 2, Events: 3, PayloadBytes: 32}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != res.Expected || res.Expected != 24*3 {
+		t.Fatalf("Delivered = %d, Expected = %d, want both 72", res.Delivered, res.Expected)
+	}
+	if got := res.Latency.Count(); uint64(got) != res.Delivered {
+		t.Fatalf("latency histogram saw %d samples, want %d", got, res.Delivered)
+	}
+	// Wire messages per publish: pub→root, root→each of 2 leaves,
+	// leaf→each of 6 subscriber nodes (per-node dedup: 4 sinks per node
+	// share one delivery).
+	want := uint64(3) * uint64(1+2+6)
+	if res.WireMessages != want {
+		t.Fatalf("WireMessages = %d, want %d", res.WireMessages, want)
+	}
+	// Federated delivery depth is 3 hops at 1ms default link latency.
+	if min := res.Latency.Min(); min != 3*time.Millisecond {
+		t.Fatalf("min delivery latency = %s, want 3ms (3 hops)", time.Duration(min))
+	}
+}
+
+// TestFanoutFlatBaseline runs the same population on the flat broker
+// (Leaves = 0, one sink per node — the flat broker has no per-node
+// dedup): identical delivery counts, one hop less depth.
+func TestFanoutFlatBaseline(t *testing.T) {
+	cfg := Config{Subscribers: 24, Nodes: 24, Leaves: 0, Events: 3}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != res.Expected {
+		t.Fatalf("Delivered = %d, want %d", res.Delivered, res.Expected)
+	}
+	if min := res.Latency.Min(); min != 2*time.Millisecond {
+		t.Fatalf("min delivery latency = %s, want 2ms (2 hops)", time.Duration(min))
+	}
+}
+
+// TestFanoutShardsByteIdentical pins the execution-parameter contract:
+// the sharded engine at K=4 produces the exact numbers a single kernel
+// does, down to the rendered summary line.
+func TestFanoutShardsByteIdentical(t *testing.T) {
+	base := Config{Subscribers: 64, Nodes: 16, Leaves: 4, Events: 5, PayloadBytes: 64}
+	run := func(shards int) (*Result, string, map[string]float64) {
+		cfg := base
+		cfg.Shards = shards
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, res.SummaryLine(), res.Summary()
+	}
+	_, line1, sum1 := run(1)
+	_, line4, sum4 := run(4)
+	if line1 != line4 {
+		t.Fatalf("summary lines diverge:\nK=1: %s\nK=4: %s", line1, line4)
+	}
+	if len(sum1) != len(sum4) {
+		t.Fatalf("summary key sets diverge: %d vs %d", len(sum1), len(sum4))
+	}
+	for k, v := range sum1 {
+		if sum4[k] != v {
+			t.Errorf("summary[%q]: K=1 %v, K=4 %v", k, v, sum4[k])
+		}
+	}
+}
+
+// TestFanoutScenarioID pins the identity contract: Shards never appears,
+// defaults are canonicalized.
+func TestFanoutScenarioID(t *testing.T) {
+	a := Config{Subscribers: 100, Nodes: 10, Leaves: 2, Events: 3, PayloadBytes: 16}
+	b := a
+	b.Shards = 8
+	if a.ScenarioID() != b.ScenarioID() {
+		t.Fatalf("Shards leaked into scenario identity: %q vs %q", a.ScenarioID(), b.ScenarioID())
+	}
+	want := "fanout/subs=100/nodes=10/leaves=2/events=3/payload=16"
+	if got := a.ScenarioID(); got != want {
+		t.Fatalf("ScenarioID = %q, want %q", got, want)
+	}
+	if got := (Config{}).ScenarioID(); got != "fanout/subs=64/nodes=8/leaves=0/events=4/payload=0" {
+		t.Fatalf("zero-config ScenarioID = %q", got)
+	}
+}

@@ -1,56 +1,201 @@
 // Package metrics provides the small measurement toolkit the experiment
-// harness uses: latency histograms over virtual time, counters, and
-// fixed-width tables for reproducing the paper's figures as printed
-// artifacts.
+// harness uses: streaming latency histograms over virtual time, fairness
+// indices, and fixed-width tables for reproducing the paper's figures as
+// printed artifacts.
+//
+// Histogram is fully online: it never stores more than a bounded number
+// of raw samples regardless of how many are added, so sweep memory stays
+// flat as client populations grow into the millions. Aggregates that the
+// sweep CSVs depend on (Count, Mean, Min, Max, and quantiles up to
+// sketchK samples) are exact; beyond sketchK samples quantiles degrade
+// gracefully with a documented deterministic rank-error bound.
 package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
+	"unicode/utf8"
 )
 
-// Histogram accumulates duration samples and answers summary queries.
-// The zero value is ready to use.
+// sketchK is the per-level capacity of the quantile sketch. While a
+// histogram holds at most sketchK samples the sketch is just a sorted
+// array and every quantile is exact — byte-identical to sorting all
+// samples and taking the nearest rank. Past sketchK samples, levels
+// compact deterministically and the worst-case quantile rank error is
+// bounded by errBound.
+const sketchK = 4096
+
+// errBound returns the worst-case rank error of Quantile for a
+// histogram holding n samples: zero while n <= sketchK, and at most
+// (ceil(log2(n/k))+1) * n/k afterwards (k = sketchK). Each compaction
+// of level i (items of weight 2^i) perturbs any rank by at most 2^i,
+// and level i compacts at most n/(k*2^i) times, so the per-level
+// contribution telescopes to n/k across ceil(log2(n/k))+1 live levels.
+// At n = 2^20 that is 9*256 = 2304 ranks, under 0.25% of the
+// population.
+func errBound(n int64) int64 {
+	if n <= sketchK {
+		return 0
+	}
+	levels := int64(1)
+	for m := n; m > sketchK; m >>= 1 {
+		levels++
+	}
+	return levels * (n / sketchK)
+}
+
+// Histogram accumulates duration samples online and answers summary
+// queries. The zero value is ready to use.
+//
+// Count, Mean, Min, and Max are always exact. Quantile (and P50, P95,
+// P99) is exact while at most sketchK (4096) samples have been added;
+// afterwards it answers from a deterministic multi-level compaction
+// sketch whose worst-case rank error is documented on errBound. Memory
+// is O(sketchK * log(n/sketchK)) regardless of n, so per-client and
+// aggregate histograms stay flat as populations grow.
+//
+// Determinism: compaction keeps alternating elements of each sorted
+// level with a per-level offset that toggles on every compaction — no
+// randomness anywhere — so two runs that Add the same samples in the
+// same order answer identical quantiles.
 type Histogram struct {
-	samples []time.Duration
-	sorted  bool
+	count int64
+	sum   int64 // exact running sum in nanoseconds
+	min   int64
+	max   int64
+
+	// Welford online moments: mean and sum of squared deviations (M2),
+	// accumulated in arrival order (deterministic for deterministic
+	// workloads).
+	mean float64
+	m2   float64
+
+	// levels[i] holds sketch items of weight 2^i. levels[0] is the
+	// insertion buffer; total stored weight always equals count.
+	levels    [][]int64
+	compacted bool   // true once any compaction happened (quantiles now approximate)
+	sorted0   bool   // levels[0] known-sorted (exact mode fast path)
+	coins     uint64 // per-level compaction offset toggles (bit i = level i)
 }
 
 // Add records one sample.
 func (h *Histogram) Add(d time.Duration) {
-	h.samples = append(h.samples, d)
-	h.sorted = false
+	v := int64(d)
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	delta := float64(v) - h.mean
+	h.mean += delta / float64(h.count)
+	h.m2 += delta * (float64(v) - h.mean)
+	if len(h.levels) == 0 {
+		h.levels = append(h.levels, make([]int64, 0, 16))
+	}
+	h.levels[0] = append(h.levels[0], v)
+	h.sorted0 = false
+	if len(h.levels[0]) > sketchK {
+		h.compactLevel(0)
+	}
+}
+
+// compactLevel sorts level i and promotes alternating elements (weight
+// doubled) to level i+1, cascading if that level overflows. An odd
+// trailing element stays behind so total weight is preserved exactly.
+func (h *Histogram) compactLevel(i int) {
+	lv := h.levels[i]
+	sortInt64s(lv)
+	pairs := lv
+	var hold int64
+	odd := len(lv)%2 == 1
+	if odd {
+		hold = lv[len(lv)-1]
+		pairs = lv[:len(lv)-1]
+	}
+	off := int((h.coins >> uint(i)) & 1)
+	h.coins ^= 1 << uint(i)
+	promoted := make([]int64, 0, len(pairs)/2)
+	for j := off; j < len(pairs); j += 2 {
+		promoted = append(promoted, pairs[j])
+	}
+	h.levels[i] = h.levels[i][:0]
+	if odd {
+		h.levels[i] = append(h.levels[i], hold)
+	}
+	if i+1 >= len(h.levels) {
+		h.levels = append(h.levels, nil)
+	}
+	h.levels[i+1] = append(h.levels[i+1], promoted...)
+	h.compacted = true
+	if len(h.levels[i+1]) > sketchK {
+		h.compactLevel(i + 1)
+	}
+}
+
+// retained reports how many raw values the sketch currently stores —
+// bounded by sketchK per level regardless of Count.
+func (h *Histogram) retained() int {
+	n := 0
+	for _, lv := range h.levels {
+		n += len(lv)
+	}
+	return n
 }
 
 // Count returns the number of samples.
-func (h *Histogram) Count() int { return len(h.samples) }
+func (h *Histogram) Count() int { return int(h.count) }
 
-// Mean returns the arithmetic mean, or zero when empty.
+// Mean returns the arithmetic mean, or zero when empty. It is computed
+// from an exact integer sum, not the sketch, so it is exact at any
+// population size.
 func (h *Histogram) Mean() time.Duration {
-	if len(h.samples) == 0 {
+	if h.count == 0 {
 		return 0
 	}
-	var sum time.Duration
-	for _, s := range h.samples {
-		sum += s
-	}
-	return sum / time.Duration(len(h.samples))
+	return time.Duration(h.sum / h.count)
 }
 
-// ensureSorted sorts the backing slice once per mutation epoch.
-func (h *Histogram) ensureSorted() {
-	if !h.sorted {
-		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
-		h.sorted = true
+// Sum returns the exact sum of all samples.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum) }
+
+// Variance returns the population variance in ns², computed online via
+// Welford's algorithm, or zero when fewer than two samples were added.
+func (h *Histogram) Variance() float64 {
+	if h.count < 2 {
+		return 0
+	}
+	return h.m2 / float64(h.count)
+}
+
+// StdDev returns the population standard deviation, derived from the
+// Welford M2 accumulator, or zero when fewer than two samples were
+// added.
+func (h *Histogram) StdDev() time.Duration {
+	return time.Duration(math.Sqrt(h.Variance()))
+}
+
+// ensureSorted0 sorts the insertion buffer once per mutation epoch
+// (exact-mode fast path, used only before any compaction).
+func (h *Histogram) ensureSorted0() {
+	if !h.sorted0 {
+		sortInt64s(h.levels[0])
+		h.sorted0 = true
 	}
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank, or zero
-// when empty.
+// Quantile returns the q-quantile (0 <= q <= 1) by nearest rank, or
+// zero when empty. Exact while Count <= sketchK; afterwards answered
+// from the compaction sketch with worst-case rank error errBound(n).
+// The extreme ranks are always exact: q=0 returns Min and q=1 returns
+// Max.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	if len(h.samples) == 0 {
+	if h.count == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -59,36 +204,75 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if q > 1 {
 		q = 1
 	}
-	h.ensureSorted()
-	idx := int(q*float64(len(h.samples)-1) + 0.5)
-	return h.samples[idx]
+	target := int64(q*float64(h.count-1) + 0.5)
+	if !h.compacted {
+		h.ensureSorted0()
+		return time.Duration(h.levels[0][target])
+	}
+	if target <= 0 {
+		return time.Duration(h.min)
+	}
+	if target >= h.count-1 {
+		return time.Duration(h.max)
+	}
+	return time.Duration(h.rankSelect(target))
 }
 
-// P50 is the median.
+// rankSelect answers the nearest-rank query over the weighted sketch:
+// each item at level i covers 2^i consecutive ranks, total weight is
+// exactly count, and the item whose rank interval contains target is
+// returned.
+func (h *Histogram) rankSelect(target int64) int64 {
+	type vw struct {
+		v int64
+		w int64
+	}
+	items := make([]vw, 0, h.retained())
+	for i, lv := range h.levels {
+		w := int64(1) << uint(i)
+		for _, v := range lv {
+			items = append(items, vw{v, w})
+		}
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].v < items[b].v })
+	var acc int64
+	for _, it := range items {
+		if target < acc+it.w {
+			return it.v
+		}
+		acc += it.w
+	}
+	return h.max
+}
+
+// P50 is the median (see Quantile for the exactness regime and the
+// sketch error bound).
 func (h *Histogram) P50() time.Duration { return h.Quantile(0.50) }
 
-// P95 is the 95th percentile.
+// P95 is the 95th percentile (see Quantile for the exactness regime
+// and the sketch error bound).
 func (h *Histogram) P95() time.Duration { return h.Quantile(0.95) }
 
-// P99 is the 99th percentile.
+// P99 is the 99th percentile (see Quantile for the exactness regime
+// and the sketch error bound).
 func (h *Histogram) P99() time.Duration { return h.Quantile(0.99) }
 
-// Max returns the largest sample, or zero when empty.
+// Max returns the largest sample (exact at any size), or zero when
+// empty.
 func (h *Histogram) Max() time.Duration {
-	if len(h.samples) == 0 {
+	if h.count == 0 {
 		return 0
 	}
-	h.ensureSorted()
-	return h.samples[len(h.samples)-1]
+	return time.Duration(h.max)
 }
 
-// Min returns the smallest sample, or zero when empty.
+// Min returns the smallest sample (exact at any size), or zero when
+// empty.
 func (h *Histogram) Min() time.Duration {
-	if len(h.samples) == 0 {
+	if h.count == 0 {
 		return 0
 	}
-	h.ensureSorted()
-	return h.samples[0]
+	return time.Duration(h.min)
 }
 
 // Summary renders "mean=… p50=… p95=… max=… (n=…)".
@@ -99,6 +283,11 @@ func (h *Histogram) Summary() string {
 		h.P95().Round(time.Microsecond),
 		h.Max().Round(time.Microsecond),
 		h.Count())
+}
+
+// sortInt64s sorts an int64 slice ascending.
+func sortInt64s(xs []int64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
 }
 
 // Table accumulates rows and renders them with aligned columns — the
@@ -120,7 +309,9 @@ func (t *Table) AddRow(cells ...string) {
 	t.rows = append(t.rows, cells)
 }
 
-// String renders the table.
+// String renders the table. Column widths are measured in runes, not
+// bytes, so multi-byte UTF-8 cells (µs durations, accented names)
+// align correctly.
 func (t *Table) String() string {
 	cols := len(t.headers)
 	for _, r := range t.rows {
@@ -131,8 +322,8 @@ func (t *Table) String() string {
 	widths := make([]int, cols)
 	measure := func(r []string) {
 		for i, c := range r {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}

@@ -1,0 +1,259 @@
+package middleware
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// The tests in this file pin the federated broker tree: leaf shard
+// assignment, encode-once forwarding, per-node dedup, wire accounting,
+// and the configuration errors.
+
+func federatedPlatform(t *testing.T, leaves ...Addr) (*Platform, *sim.Kernel) {
+	t.Helper()
+	kernel := sim.NewKernel(sim.WithSeed(11))
+	net := network.New(kernel)
+	profile := Profile{
+		Name:     "test-fed",
+		Patterns: []Pattern{PatternQueue, PatternPubSub},
+	}
+	p := New(kernel, protocol.NewUnreliableDatagram(net), profile, "root", WithFederation(leaves...))
+	// Pin attach order: leaves first (transport ids 0..L-1), then the
+	// root — the deployment order XL scenarios use so leaf id % L maps
+	// every leaf to its own shard row.
+	for _, leaf := range leaves {
+		if _, err := p.AttachRuntime(leaf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.AttachRuntime("root"); err != nil {
+		t.Fatal(err)
+	}
+	return p, kernel
+}
+
+// TestFederatedFanout publishes through a two-leaf tree and checks
+// every sink fires exactly once per publish, across both leaf shards.
+func TestFederatedFanout(t *testing.T) {
+	p, kernel := federatedPlatform(t, "leaf0", "leaf1")
+	const nodes = 8
+	got := make(map[string]int)
+	for i := 0; i < nodes; i++ {
+		node := Addr(fmt.Sprintf("n%d", i))
+		if err := p.SubscribeTopic("ticks", node, func(m codec.Message) {
+			if m.Name != "tick" {
+				t.Errorf("node %s got message %q", node, m.Name)
+			}
+			got[string(node)]++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const events = 3
+	for e := 0; e < events; e++ {
+		if err := p.Publish("pub", "ticks", codec.NewMessage("tick", codec.Record{"seq": uint64(e)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != nodes {
+		t.Fatalf("only %d of %d nodes saw events", len(got), nodes)
+	}
+	for node, n := range got {
+		if n != events {
+			t.Errorf("node %s saw %d events, want %d", node, n, events)
+		}
+	}
+	st := p.Stats()
+	if st.EventDeliver != uint64(nodes*events) {
+		t.Errorf("EventDeliver = %d, want %d", st.EventDeliver, nodes*events)
+	}
+	// Wire messages per publish: pub→root, root→each non-empty leaf,
+	// leaf→each subscriber node.
+	wantWire := uint64(events) * uint64(1+2+nodes)
+	if st.WireMessages != wantWire {
+		t.Errorf("WireMessages = %d, want %d", st.WireMessages, wantWire)
+	}
+	if st.Publishes != events {
+		t.Errorf("Publishes = %d, want %d", st.Publishes, events)
+	}
+}
+
+// TestFederatedNodeDedup subscribes several sinks at one node and
+// checks the leaf forwards one wire message per node, demuxed to every
+// sink — the federated path must not multiply wire traffic by sinks.
+func TestFederatedNodeDedup(t *testing.T) {
+	p, kernel := federatedPlatform(t, "leaf0")
+	var aView, aMsg, b int
+	if err := p.SubscribeTopicView("floor", "shared", func(v codec.MsgView) { aView++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SubscribeTopic("floor", "shared", func(m codec.Message) { aMsg++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SubscribeTopic("floor", "other", func(m codec.Message) { b++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Publish("pub", "floor", codec.NewMessage("grant", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if aView != 1 || aMsg != 1 || b != 1 {
+		t.Fatalf("sink fires = %d/%d/%d, want 1/1/1", aView, aMsg, b)
+	}
+	st := p.Stats()
+	// pub→root, root→leaf0, leaf0→{shared, other}: the shared node gets
+	// ONE wire message for its two sinks.
+	if st.WireMessages != 4 {
+		t.Fatalf("WireMessages = %d, want 4 (per-node dedup)", st.WireMessages)
+	}
+	if st.EventDeliver != 2 {
+		t.Fatalf("EventDeliver = %d, want 2 subscriber nodes", st.EventDeliver)
+	}
+}
+
+// TestFederatedShardAssignment checks leaf = transport id % L: with
+// leaves attached first, subscriber nodes land on the leaf owning
+// their slot residue, which is what co-locates the fan-out with the
+// sharded engine's slot % K partition.
+func TestFederatedShardAssignment(t *testing.T) {
+	p, kernel := federatedPlatform(t, "leaf0", "leaf1")
+	// Attach subscribers in a known order: transport ids 3, 4, 5, 6
+	// (leaves hold 0-1, root holds 2).
+	subs := []Addr{"s3", "s4", "s5", "s6"}
+	for _, s := range subs {
+		if err := p.SubscribeTopic("t", s, func(m codec.Message) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Publish("pub", "t", codec.NewMessage("e", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	ft := p.fed.topics["t"]
+	shard0, shard1 := ft.shards[0], ft.shards[1]
+	p.mu.Unlock()
+	want0, want1 := []int32{4, 6}, []int32{3, 5}
+	if len(shard0) != len(want0) || shard0[0] != want0[0] || shard0[1] != want0[1] {
+		t.Fatalf("leaf0 shard = %v, want %v", shard0, want0)
+	}
+	if len(shard1) != len(want1) || shard1[0] != want1[0] || shard1[1] != want1[1] {
+		t.Fatalf("leaf1 shard = %v, want %v", shard1, want1)
+	}
+}
+
+// TestFederatedMatchesFlatDeliveries runs the same pub/sub scenario
+// flat and federated and requires identical per-sink delivery
+// sequences — federation changes the wire topology, not observable
+// delivery semantics.
+func TestFederatedMatchesFlatDeliveries(t *testing.T) {
+	run := func(federated bool) map[string][]uint64 {
+		kernel := sim.NewKernel(sim.WithSeed(5))
+		net := network.New(kernel)
+		profile := Profile{Name: "cmp", Patterns: []Pattern{PatternPubSub}}
+		var opts []Option
+		if federated {
+			opts = append(opts, WithFederation("leaf0", "leaf1", "leaf2"))
+		}
+		p := New(kernel, protocol.NewUnreliableDatagram(net), profile, "root", opts...)
+		got := make(map[string][]uint64)
+		for i := 0; i < 6; i++ {
+			node := Addr(fmt.Sprintf("n%d", i))
+			if err := p.SubscribeTopic("x", node, func(m codec.Message) {
+				seq, _ := m.Fields["seq"].(uint64)
+				got[string(node)] = append(got[string(node)], seq)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for e := 0; e < 5; e++ {
+			if err := p.Publish("pub", "x", codec.NewMessage("e", codec.Record{"seq": uint64(e)})); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := kernel.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	flat, fed := run(false), run(true)
+	if len(flat) != len(fed) {
+		t.Fatalf("node sets differ: flat %d, federated %d", len(flat), len(fed))
+	}
+	for node, seqs := range flat {
+		fs := fed[node]
+		if len(fs) != len(seqs) {
+			t.Fatalf("node %s: flat saw %v, federated saw %v", node, seqs, fs)
+		}
+		for i := range seqs {
+			if seqs[i] != fs[i] {
+				t.Fatalf("node %s delivery %d: flat %d, federated %d", node, i, seqs[i], fs[i])
+			}
+		}
+	}
+}
+
+// TestFederationQueuesUnaffected pins that queues stay on the root
+// broker under federation.
+func TestFederationQueuesUnaffected(t *testing.T) {
+	p, kernel := federatedPlatform(t, "leaf0")
+	if err := p.QueueDeclare("work"); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if err := p.QueueSubscribe("work", "consumer", func(m codec.Message) {
+		got = append(got, m.Name)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.QueuePut("producer", "work", codec.NewMessage("job", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "job" {
+		t.Fatalf("queue delivered %v, want [job]", got)
+	}
+}
+
+// TestFederationErrors pins the configuration guard rails.
+func TestFederationErrors(t *testing.T) {
+	p, _ := federatedPlatform(t, "leaf0", "leaf1")
+	if err := p.SubscribeTopic("t", "leaf1", func(m codec.Message) {}); !errors.Is(err, ErrFederation) {
+		t.Fatalf("subscribing at a leaf: err = %v, want ErrFederation", err)
+	}
+	if err := p.SubscribeTopic("t", "root", func(m codec.Message) {}); !errors.Is(err, ErrFederation) {
+		t.Fatalf("subscribing at the root: err = %v, want ErrFederation", err)
+	}
+
+	// A transport without the indexed plane cannot federate.
+	kernel := sim.NewKernel()
+	net := network.New(kernel)
+	nameOnly := struct{ protocol.LowerService }{protocol.NewUnreliableDatagram(net)}
+	q := New(kernel, nameOnly, Profile{Name: "x", Patterns: []Pattern{PatternPubSub}}, "root",
+		WithFederation("leaf0"))
+	if err := q.SubscribeTopic("t", "n1", func(m codec.Message) {}); !errors.Is(err, ErrFederation) {
+		t.Fatalf("non-indexed transport: err = %v, want ErrFederation", err)
+	}
+
+	// WithFederation with no leaves is a no-op, not a broken tree.
+	r := New(kernel, protocol.NewUnreliableDatagram(net), Profile{Name: "y", Patterns: []Pattern{PatternPubSub}}, "root2",
+		WithFederation())
+	if r.fed != nil {
+		t.Fatal("zero-leaf federation should leave the flat broker")
+	}
+}

@@ -68,6 +68,7 @@ const (
 	PatternPubSub
 )
 
+// String renders the pattern as its lowercase wire/profile name.
 func (p Pattern) String() string {
 	switch p {
 	case PatternRPC:
@@ -111,6 +112,9 @@ func (f ObjectFunc) Dispatch(op string, args codec.Record, reply Reply) { f(op, 
 // patterns it offers and its per-interaction overhead. Profiles are what
 // the MDA engine's concrete-platform definitions point at.
 type Profile struct {
+	// Name identifies the platform class (e.g. "rpc-corba-like"); it is
+	// the key ProfileByName resolves and the label carried into scenario
+	// IDs.
 	Name string
 	// Patterns supported by this platform class.
 	Patterns []Pattern
@@ -179,14 +183,25 @@ func ProfileByName(name string) (Profile, bool) {
 
 // Stats counts platform work per pattern plus wire totals.
 type Stats struct {
-	Calls        uint64
-	Replies      uint64
-	Oneways      uint64
+	// Calls and Replies count RPC requests dispatched and replies
+	// delivered; Oneways counts fire-and-forget invocations.
+	Calls   uint64
+	Replies uint64
+	Oneways uint64
+	// QueuePuts and QueueDeliver count queue enqueues and consumer
+	// deliveries.
 	QueuePuts    uint64
 	QueueDeliver uint64
+	// Publishes counts topic publishes; EventDeliver counts event
+	// deliveries — per matching subscription on the flat broker, per
+	// subscriber node on the federated path (which forwards one wire
+	// message per node and demuxes to every co-located sink).
 	Publishes    uint64
 	EventDeliver uint64
-	Timeouts     uint64
+	// Timeouts counts RPC deadline expirations.
+	Timeouts uint64
+	// WireMessages and WireBytes total every middleware-level message
+	// handed to the transport, across all patterns.
 	WireMessages uint64
 	WireBytes    uint64
 }
@@ -296,14 +311,20 @@ type Platform struct {
 
 	freeDeferred *deferredWire
 	stats        Stats
+
+	// fed is non-nil when the pub/sub broker is federated into a
+	// two-level tree (see WithFederation).
+	fed *federation
 }
 
 // New creates a platform over transport. The broker address hosts the
 // platform's queue/topic broker; it is attached lazily on first use.
-func New(tb sim.Timebase, transport protocol.LowerService, profile Profile, broker Addr) *Platform {
+// Options (WithFederation, …) configure the platform before any
+// runtime attaches.
+func New(tb sim.Timebase, transport protocol.LowerService, profile Profile, broker Addr, opts ...Option) *Platform {
 	it, _ := transport.(protocol.IndexedLower)
 	kern, _ := tb.(*sim.Kernel)
-	return &Platform{
+	p := &Platform{
 		tb:         tb,
 		kern:       kern,
 		transport:  transport,
@@ -317,6 +338,10 @@ func New(tb sim.Timebase, transport protocol.LowerService, profile Profile, brok
 		queues:     make(map[string]*queueState),
 		topics:     make(map[string]*topicState),
 	}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
 }
 
 // scheduleFunc and scheduleFuncRef route timer arming through the
@@ -370,6 +395,13 @@ func (p *Platform) ensureRuntime(node Addr) (int32, error) {
 	p.queueSinks = append(p.queueSinks, nil)
 	if node == p.broker {
 		p.brokerID = id
+	}
+	if p.fed != nil {
+		for i, leaf := range p.fed.leaves {
+			if node == leaf {
+				p.fed.leafIDs[i] = id
+			}
+		}
 	}
 	p.mu.Unlock()
 	if p.itransport != nil {

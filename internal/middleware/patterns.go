@@ -299,6 +299,9 @@ func (p *Platform) subscribeTopic(topic string, node Addr, sink eventSink) error
 	if !p.profile.Supports(PatternPubSub) {
 		return fmt.Errorf("%w: %s on %q", ErrPatternUnsupported, PatternPubSub, p.profile.Name)
 	}
+	if p.fed != nil {
+		return p.fedSubscribe(topic, node, sink)
+	}
 	nodeID, err := p.ensureRuntime(node)
 	if err != nil {
 		return err
@@ -374,6 +377,15 @@ func (p *Platform) handleWire(srcAddr Addr, srcLow, atID int32, data []byte) {
 	case "mw.publish":
 		p.handlePublish(&v)
 	case "mw.event":
+		if p.fed != nil {
+			p.mu.Lock()
+			li := p.leafIndexOfLocked(atID)
+			p.mu.Unlock()
+			if li >= 0 {
+				p.fedForward(int32(li), &v, data)
+				return
+			}
+		}
 		p.handleEvent(atID, &v)
 	}
 }
@@ -506,6 +518,10 @@ func (p *Platform) handleDeliver(atID int32, v *codec.MsgView) {
 // subscribe time (one string-keyed topic probe per publish; everything
 // after it is slice-indexed).
 func (p *Platform) handlePublish(v *codec.MsgView) {
+	if p.fed != nil {
+		p.fedPublish(v)
+		return
+	}
 	topic, _ := v.Str("topic")
 	p.mu.Lock()
 	t := p.topics[string(topic)]

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -189,5 +190,70 @@ func TestSlotPlaneMatchesNamePlane(t *testing.T) {
 		if gotName[i] != gotSlot[i] {
 			t.Fatalf("delivery %d diverges: %q vs %q", i, gotName[i], gotSlot[i])
 		}
+	}
+}
+
+// TestLazyRowsStayNil pins the O(N) memory claim of the link plane: a
+// fabric using only the default link materializes no rows at all, and
+// explicit configuration materializes exactly the configured sources.
+func TestLazyRowsStayNil(t *testing.T) {
+	kernel := sim.NewKernel()
+	n := New(kernel)
+	const nodes = 512
+	sink := func(src Slot, payload []byte) {}
+	for i := 0; i < nodes; i++ {
+		if _, err := n.Register(NodeID(fmt.Sprintf("n%d", i)), sink); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.SendSlot(0, Slot(nodes-1), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	n.mu.Lock()
+	materialized := 0
+	for _, row := range n.rows {
+		if row != nil {
+			materialized++
+		}
+	}
+	n.mu.Unlock()
+	if materialized != 0 {
+		t.Fatalf("default-link fabric materialized %d rows, want 0", materialized)
+	}
+	// One SetLink and one Partition materialize exactly those source rows.
+	if err := n.SetLink("n3", "n4", LinkConfig{Latency: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	n.Partition("n7", "n8")
+	n.mu.Lock()
+	materialized = 0
+	for _, row := range n.rows {
+		if row != nil {
+			materialized++
+		}
+	}
+	n.mu.Unlock()
+	if materialized != 2 {
+		t.Fatalf("materialized %d rows, want 2 (n3 and n7)", materialized)
+	}
+	// Partitioned traffic drops; healed traffic flows again.
+	s7, _ := n.SlotOf("n7")
+	s8, _ := n.SlotOf("n8")
+	if err := n.SendSlot(s7, s8, []byte("drop")); err != nil {
+		t.Fatal(err)
+	}
+	n.Heal("n7", "n8")
+	if err := n.SendSlot(s7, s8, []byte("flow")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	if st.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", st.Dropped)
 	}
 }

@@ -18,14 +18,18 @@
 //
 // Every node receives a dense small-int Slot at registration. Handlers
 // live in a slot-indexed slice and link state (config, partition flag)
-// lives in a flat fromSlot×toSlot grid, so the steady-state send and
-// delivery paths — SendSlot, SendMultiSlot and the pooled delivery
-// events they schedule — perform zero map lookups and zero allocations.
-// The string-keyed API (Send, SendMulti, AddNode, SetLink, …) remains as
-// the control plane and as a compatibility wrapper that resolves names
-// to slots on entry. Registering nodes after traffic has started is
-// supported: the grid grows (amortised) and in-flight deliveries keep
-// their slots, which stay valid for the network's lifetime.
+// lives in lazily materialized per-source rows: a source with no
+// explicit SetLink/Partition call has a nil row and pays one pointer of
+// memory, so a million-node fabric with default links costs O(N), not
+// O(N²). Sources that are configured get a dense fromSlot-indexed row,
+// and the steady-state send and delivery paths — SendSlot,
+// SendMultiSlot and the pooled delivery events they schedule — perform
+// zero map lookups and zero allocations. The string-keyed API (Send,
+// SendMulti, AddNode, SetLink, …) remains as the control plane and as a
+// compatibility wrapper that resolves names to slots on entry.
+// Registering nodes after traffic has started is supported: rows grow
+// (amortised) and in-flight deliveries keep their slots, which stay
+// valid for the network's lifetime.
 package network
 
 import (
@@ -124,8 +128,8 @@ func WithDefaultLink(cfg LinkConfig) Option {
 	return func(n *Network) { n.defaultLink = cfg }
 }
 
-// linkState is one cell of the flat link grid: the effective directed
-// link state between two registered slots.
+// linkState is one cell of a materialized link row: the effective
+// directed link state between two registered slots.
 type linkState struct {
 	cfg LinkConfig
 	// explicit marks cells configured via SetLink; others use the
@@ -180,12 +184,16 @@ type Network struct {
 	ids      []NodeID      // slot → name
 	handlers []SlotHandler // slot → delivery handler
 
-	// grid is the flat fromSlot×toSlot link table (gridW is its stride,
-	// grown geometrically). links/partition remain the configuration
-	// source of truth — they may name nodes registered later — and the
-	// grid is the materialized fast path over registered pairs.
-	grid      []linkState
-	gridW     int
+	// rows is the lazily materialized link table: rows[src] is nil until
+	// some link out of src is configured, then a dense toSlot-indexed
+	// row of width rowW (a power of two grown geometrically with the
+	// node count). links/partition remain the configuration source of
+	// truth — they may name nodes registered later — and rows are the
+	// materialized fast path over registered pairs. Default-link fabrics
+	// (the common case at XL population sizes) keep every row nil and
+	// cost one pointer per node.
+	rows      [][]linkState
+	rowW      int
 	links     map[linkKey]LinkConfig
 	partition map[linkKey]bool
 
@@ -238,7 +246,8 @@ func (n *Network) Register(id NodeID, h SlotHandler) (Slot, error) {
 	n.slots[id] = s
 	n.ids = append(n.ids, id)
 	n.handlers = append(n.handlers, h)
-	n.ensureGridLocked(len(n.ids))
+	n.rows = append(n.rows, nil)
+	n.ensureRowWidthLocked(len(n.ids))
 	n.materializeNodeLocked(id, s)
 	return s, nil
 }
@@ -329,43 +338,43 @@ func (n *Network) Nodes() []NodeID {
 	return out
 }
 
-// ensureGridLocked grows the flat link grid so it covers count slots.
-// Growth is geometric, and the rebuilt grid is rematerialized from the
-// configuration maps — the graceful path for dynamic registration.
-func (n *Network) ensureGridLocked(count int) {
-	if count <= n.gridW {
+// ensureRowWidthLocked grows the row width so materialized rows cover
+// count slots. Growth is geometric and only already-materialized rows
+// are copied — nil rows (the overwhelming majority at scale) cost
+// nothing.
+func (n *Network) ensureRowWidthLocked(count int) {
+	if count <= n.rowW {
 		return
 	}
-	w := n.gridW * 2
+	w := n.rowW * 2
 	if w < 4 {
 		w = 4
 	}
 	for w < count {
 		w *= 2
 	}
-	grid := make([]linkState, w*w)
-	for k, cfg := range n.links {
-		si, ok1 := n.slots[k.src]
-		di, ok2 := n.slots[k.dst]
-		if ok1 && ok2 {
-			c := &grid[int(si)*w+int(di)]
-			c.cfg, c.explicit = cfg, true
-		}
-	}
-	for k, cut := range n.partition {
-		if !cut {
+	for i, row := range n.rows {
+		if row == nil {
 			continue
 		}
-		si, ok1 := n.slots[k.src]
-		di, ok2 := n.slots[k.dst]
-		if ok1 && ok2 {
-			grid[int(si)*w+int(di)].partitioned = true
-		}
+		grown := make([]linkState, w)
+		copy(grown, row)
+		n.rows[i] = grown
 	}
-	n.grid, n.gridW = grid, w
+	n.rowW = w
 }
 
-// materializeNodeLocked fills the grid row and column of a newly
+// rowLocked returns the materialized link row of src, creating it on
+// first use. Only sources with explicit link configuration ever get a
+// row.
+func (n *Network) rowLocked(src Slot) []linkState {
+	if n.rows[src] == nil {
+		n.rows[src] = make([]linkState, n.rowW)
+	}
+	return n.rows[src]
+}
+
+// materializeNodeLocked fills the link cells involving a newly
 // registered node from the configuration maps (SetLink/Partition calls
 // may predate registration).
 func (n *Network) materializeNodeLocked(id NodeID, s Slot) {
@@ -376,7 +385,7 @@ func (n *Network) materializeNodeLocked(id NodeID, s Slot) {
 		si, ok1 := n.slots[k.src]
 		di, ok2 := n.slots[k.dst]
 		if ok1 && ok2 {
-			c := &n.grid[int(si)*n.gridW+int(di)]
+			c := &n.rowLocked(si)[di]
 			c.cfg, c.explicit = cfg, true
 		}
 	}
@@ -387,7 +396,7 @@ func (n *Network) materializeNodeLocked(id NodeID, s Slot) {
 		si, ok1 := n.slots[k.src]
 		di, ok2 := n.slots[k.dst]
 		if ok1 && ok2 {
-			n.grid[int(si)*n.gridW+int(di)].partitioned = true
+			n.rowLocked(si)[di].partitioned = true
 		}
 	}
 }
@@ -403,7 +412,7 @@ func (n *Network) SetLink(src, dst NodeID, cfg LinkConfig) error {
 	n.links[linkKey{src, dst}] = cfg
 	if si, ok := n.slots[src]; ok {
 		if di, ok := n.slots[dst]; ok {
-			c := &n.grid[int(si)*n.gridW+int(di)]
+			c := &n.rowLocked(si)[di]
 			c.cfg, c.explicit = cfg, true
 		}
 	}
@@ -453,7 +462,11 @@ func (n *Network) setPartition(src, dst NodeID, cut bool) {
 	}
 	if si, ok := n.slots[src]; ok {
 		if di, ok := n.slots[dst]; ok {
-			n.grid[int(si)*n.gridW+int(di)].partitioned = cut
+			if cut {
+				n.rowLocked(si)[di].partitioned = true
+			} else if row := n.rows[si]; row != nil {
+				row[di].partitioned = false
+			}
 		}
 	}
 }
@@ -603,17 +616,22 @@ func (n *Network) scheduleBatch(entries []sim.BatchEntry) {
 //
 //repolint:hotpath
 func (n *Network) transmitLocked(rng *rand.Rand, src, dst Slot, payload []byte, entries []sim.BatchEntry) ([]sim.BatchEntry, error) {
-	cell := &n.grid[int(src)*n.gridW+int(dst)]
+	// Unconfigured sources have a nil row — the default-link fast path
+	// that keeps link state O(N) on XL fabrics.
+	var cell *linkState
 	cfg := &n.defaultLink
-	if cell.explicit {
-		cfg = &cell.cfg
+	if row := n.rows[src]; row != nil {
+		cell = &row[dst]
+		if cell.explicit {
+			cfg = &cell.cfg
+		}
 	}
 	if cfg.MTU > 0 && len(payload) > cfg.MTU {
 		return entries, fmt.Errorf("%w: %d > %d (link %s→%s)", ErrTooLarge, len(payload), cfg.MTU, n.ids[src], n.ids[dst]) //repolint:allow alloc -- cold: oversized datagram is rejected, not transmitted
 	}
 	n.stats.Sent++
 	n.stats.BytesSent += uint64(len(payload))
-	if cell.partitioned {
+	if cell != nil && cell.partitioned {
 		n.stats.Dropped++
 		return entries, nil
 	}

@@ -316,7 +316,17 @@ func (r *ReliableDatagram) EndpointAddr(id int32) Addr {
 func (r *ReliableDatagram) sendFlowLocked(src, dst int32) *sendFlow {
 	row := r.sendRows[src]
 	if int(dst) >= len(row) {
-		grown := make([]*sendFlow, len(r.eps))
+		// Grow geometrically to just past dst, not to len(r.eps): on
+		// star topologies (every client talking to one coordinator) a
+		// dense row per client would cost O(E²) pointers at XL scale.
+		need := int(dst) + 1
+		if d := 2 * len(row); d > need {
+			need = d
+		}
+		if need > len(r.eps) {
+			need = len(r.eps)
+		}
+		grown := make([]*sendFlow, need)
 		copy(grown, row)
 		row = grown
 		r.sendRows[src] = row
@@ -341,7 +351,16 @@ func (r *ReliableDatagram) sendFlowLocked(src, dst int32) *sendFlow {
 func (r *ReliableDatagram) recvFlowLocked(src, dst int32) *recvFlow {
 	row := r.recvRows[src]
 	if int(dst) >= len(row) {
-		grown := make([]*recvFlow, len(r.eps))
+		// Same geometric growth as sendFlowLocked: keep per-source rows
+		// proportional to the peers actually spoken to.
+		need := int(dst) + 1
+		if d := 2 * len(row); d > need {
+			need = d
+		}
+		if need > len(r.eps) {
+			need = len(r.eps)
+		}
+		grown := make([]*recvFlow, need)
 		copy(grown, row)
 		row = grown
 		r.recvRows[src] = row
