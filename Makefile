@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-smoke bench-kernel bench-codec bench-path bench-svc bench-shard bench-xl bench-baseline bench-baseline-codec bench-baseline-path bench-baseline-svc bench-baseline-shard bench-baseline-xl bench-regression sweep sweep-large sweep-xl linkcheck profile fig fuzz cover fmt vet repolint lint check clean help
+.PHONY: all build test bench bench-smoke bench-kernel bench-codec bench-path bench-svc bench-shard bench-xl bench-baseline bench-baseline-codec bench-baseline-path bench-baseline-svc bench-baseline-shard bench-baseline-xl bench-regression sweep sweep-large sweep-xl sweep-churn linkcheck profile fig fuzz cover fmt vet repolint lint check clean help
 
 all: check
 
@@ -122,6 +122,12 @@ XLSCALE ?= 1
 sweep-xl:
 	$(GO) run ./cmd/sweep -band xl -shards 4 -xlscale $(XLSCALE)
 
+# The crash/restart robustness band: every solution under crash-rate ×
+# MTTR × rebind-policy churn, gated on zero safety violations (see
+# runner.ChurnBand and DESIGN.md §1.8).
+sweep-churn:
+	$(GO) run ./cmd/sweep -band churn
+
 # Check every relative link and heading anchor in the top-level docs.
 linkcheck:
 	$(GO) run ./cmd/linkcheck README.md DESIGN.md EXPERIMENTS.md ROADMAP.md
@@ -178,6 +184,7 @@ help:
 	@echo "sweep            the 120-scenario cross-product sweep"
 	@echo "sweep-large      the large-client fan-out band"
 	@echo "sweep-xl         the million-client band (XLSCALE=n divides populations)"
+	@echo "sweep-churn      the crash/restart robustness band (availability + safety gate)"
 	@echo "linkcheck        verify relative links + anchors in the top-level docs"
 	@echo "profile          CPU+alloc profiles of the full sweep"
 	@echo "fuzz             bounded kernel + codec fuzzing"

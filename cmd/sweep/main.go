@@ -11,6 +11,8 @@
 //	sweep -clients 64,128,256              # large-client band (overrides -subs)
 //	sweep -band xl -shards 4               # million-client band (see runner.XLBand)
 //	sweep -band xl -xlscale 1024           # scaled-down xl smoke (same code paths)
+//	sweep -band churn                      # crash/restart robustness band (runner.ChurnBand)
+//	sweep -band churn -crash 1,10 -mttr 100ms  # override the churn dimensions
 //	sweep -shards 4                        # sharded engine; byte-identical output
 //	sweep -format csv -out sweep.csv       # machine-readable output
 //	sweep -cpuprofile cpu.pprof            # profile the sweep (see make profile)
@@ -50,8 +52,10 @@ func run() int {
 	loss := flag.String("loss", "0,0.01,0.05,0.1", "comma-separated link loss rates (fractions)")
 	cycles := flag.Int("cycles", 6, "acquire/hold/release cycles per subscriber")
 	shards := flag.Int("shards", 0, "sim kernels per scenario (0 or 1 = single kernel; results are identical for any value)")
-	band := flag.String("band", "", "named scenario band: default, large, or xl (overrides the dimension flags)")
+	band := flag.String("band", "", "named scenario band: default, large, xl, or churn (overrides the dimension flags)")
 	xlscale := flag.Int("xlscale", 1, "population divisor for -band xl (CI smoke runs use e.g. 1024)")
+	crash := flag.String("crash", "", "comma-separated crash rates (crashes/s per node) for -band churn; empty = band defaults")
+	mttr := flag.String("mttr", "", "comma-separated mean times to repair (durations, e.g. 50ms,200ms) for -band churn; empty = band defaults")
 	seed := flag.Int64("seed", 42, "base sweep seed (per-scenario seeds are derived from it)")
 	parallel := flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
 	format := flag.String("format", "table", "output format: table, json, or csv")
@@ -91,8 +95,24 @@ func run() int {
 		scenarios = m.Scenarios()
 	case "xl":
 		scenarios = runner.XLBand(*xlscale, *shards)
+	case "churn":
+		rates, err := parseRates(*crash)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: -crash: %v\n", err)
+			return 2
+		}
+		mttrs, err := parseDurations(*mttr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: -mttr: %v\n", err)
+			return 2
+		}
+		scenarios = runner.ChurnBandWith(rates, mttrs, *shards)
 	default:
-		fmt.Fprintf(os.Stderr, "sweep: -band: unknown band %q (default, large, xl)\n", *band)
+		fmt.Fprintf(os.Stderr, "sweep: -band: unknown band %q (default, large, xl, churn)\n", *band)
+		return 2
+	}
+	if *band != "churn" && (*crash != "" || *mttr != "") {
+		fmt.Fprintln(os.Stderr, "sweep: -crash/-mttr only apply to -band churn")
 		return 2
 	}
 	matrix := runner.Matrix{Cycles: *cycles, Shards: *shards}
@@ -241,6 +261,58 @@ func peakRSS() (uint64, bool) {
 		return kb << 10, true
 	}
 	return 0, false
+}
+
+// parseRates parses the -crash list: positive crash rates, no duplicates.
+// Empty input means "use the band defaults" and returns nil.
+func parseRates(csv string) ([]float64, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(csv, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("crash rate %g is not positive", v)
+		}
+		for _, prev := range out {
+			if prev == v {
+				return nil, fmt.Errorf("duplicate value %g", v)
+			}
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseDurations parses the -mttr list: positive durations, no
+// duplicates. Empty input means "use the band defaults" and returns nil.
+func parseDurations(csv string) ([]time.Duration, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(csv, ",")
+	out := make([]time.Duration, 0, len(parts))
+	for _, p := range parts {
+		v, err := time.ParseDuration(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("mttr %s is not positive", v)
+		}
+		for _, prev := range out {
+			if prev == v {
+				return nil, fmt.Errorf("duplicate value %s", v)
+			}
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func parseInts(csv string) ([]int, error) {

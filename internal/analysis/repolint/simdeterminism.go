@@ -30,6 +30,7 @@ var deterministicPkgs = []string{
 	"repro/internal/sim",
 	"repro/internal/protocol",
 	"repro/internal/network",
+	"repro/internal/fault",
 	"repro/internal/middleware",
 	"repro/internal/svc",
 	"repro/internal/floorcontrol",

@@ -1,0 +1,86 @@
+package fault
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestFaultScheduleDeterministic: equal inputs yield equal schedules,
+// alternation is correct per subject, and the horizon truncates.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	spec := Spec{
+		CrashRate: 2.0,
+		MTTR:      200 * time.Millisecond,
+		Horizon:   10 * time.Second,
+	}
+	nodes := []string{"a", "b", "c"}
+	ev1, err := Schedule(spec, nodes, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := Schedule(spec, nodes, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ev1, ev2) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(ev1) == 0 {
+		t.Fatal("expected events over a 10s horizon at rate 2/s")
+	}
+	last := make(map[string]Kind)
+	for i, ev := range ev1 {
+		if ev.At >= spec.Horizon {
+			t.Fatalf("event %d at %v beyond horizon", i, ev.At)
+		}
+		if i > 0 && ev.At < ev1[i-1].At {
+			t.Fatalf("events not sorted at %d", i)
+		}
+		prev, seen := last[ev.Node]
+		switch ev.Kind {
+		case Crash:
+			if seen && prev == Crash {
+				t.Fatalf("double crash for %s", ev.Node)
+			}
+		case Restart:
+			if !seen || prev != Crash {
+				t.Fatalf("restart without crash for %s", ev.Node)
+			}
+		}
+		last[ev.Node] = ev.Kind
+	}
+	ev3, err := Schedule(spec, nodes, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(ev1, ev3) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestFaultScheduleValidation: invalid specs are rejected, disabled
+// specs yield nil.
+func TestFaultScheduleValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Schedule(Spec{CrashRate: -1}, []string{"a"}, rng); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := Schedule(Spec{CrashRate: 1, Horizon: time.Second}, []string{"a"}, rng); err == nil {
+		t.Fatal("zero MTTR with positive rate accepted")
+	}
+	if _, err := Schedule(Spec{PartitionRate: 1, Horizon: time.Second}, []string{"a"}, rng); err == nil {
+		t.Fatal("zero MTTH with positive partition rate accepted")
+	}
+	ev, err := Schedule(Spec{}, []string{"a"}, rng)
+	if err != nil || ev != nil {
+		t.Fatalf("disabled spec: ev=%v err=%v, want nil/nil", ev, err)
+	}
+	if (Spec{CrashRate: 1, MTTR: time.Second, Horizon: time.Second}).Enabled() == false {
+		t.Fatal("crash spec not Enabled")
+	}
+	if (Spec{}).Enabled() {
+		t.Fatal("empty spec Enabled")
+	}
+}

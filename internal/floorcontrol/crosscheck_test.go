@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/core"
@@ -96,6 +97,45 @@ func TestPropertyExecutedTracesAlwaysAccepted(t *testing.T) {
 		return spec.Accepts(res.Trace.Labels())
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyChurnedTracesRefineSafetyLTS extends the cross-check to
+// the churn engine: random crash/heal schedules over random solutions
+// must still produce traces the safety LTS accepts, with zero safety
+// violations from the online monitors. Liveness is deliberately out of
+// scope — a crash may orphan a request forever, and the safety LTS
+// accepts that prefix; what may never appear is a grant that breaks
+// mutual exclusion or a free without a grant (the failure modes a buggy
+// retry/dedup scheme would introduce).
+func TestPropertyChurnedTracesRefineSafetyLTS(t *testing.T) {
+	names := []string{
+		"mw-callback", "mw-polling", "mw-token",
+		"proto-callback", "proto-polling", "proto-token",
+		"mda-rpc-corba-like", "mda-msg-jms-like",
+	}
+	spec := ServiceLTS(SubscriberNames(3), ResourceNames(2))
+	prop := func(seed int64, which, sev uint8) bool {
+		res, err := RunWorkload(Config{
+			Solution:    names[int(which)%len(names)],
+			Subscribers: 3,
+			Resources:   2,
+			Cycles:      2,
+			Seed:        seed,
+			Deadline:    6 * time.Second,
+			CrashRate:   0.5 + float64(sev%8),
+			MTTR:        time.Duration(sev%4+1) * 100 * time.Millisecond,
+		})
+		if err != nil {
+			return false
+		}
+		if !res.SafetyOK {
+			return false
+		}
+		return spec.Accepts(res.Trace.Labels())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
 }

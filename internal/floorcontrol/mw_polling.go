@@ -25,9 +25,12 @@ import (
 // with the protocol solution (b), where ... the service is responsible for
 // 'polling'." The polling loop lives *inside the application part* here,
 // driving a typed is_available port.
-type MWPolling struct{}
+type MWPolling struct {
+	ctrl *pollingController // set by Build
+}
 
 var _ Solution = (*MWPolling)(nil)
+var _ ControllerFailover = (*MWPolling)(nil)
 
 // Name implements Solution.
 func (*MWPolling) Name() string { return "mw-polling" }
@@ -47,6 +50,14 @@ func (*MWPolling) Figure() string { return "Fig 4(b)" }
 func (*MWPolling) Scattering(n int) Scattering {
 	return Scattering{AppPartOps: 4 * n, ControllerOps: 2}
 }
+
+// ControllerNode implements ControllerFailover.
+func (s *MWPolling) ControllerNode() middleware.Addr { return s.ctrl.node() }
+
+// Failover implements ControllerFailover: re-home the controller export
+// onto node. The holder table moves with the component, so grants held
+// before the crash stay valid.
+func (s *MWPolling) Failover(node middleware.Addr) error { return s.ctrl.failover(node) }
 
 // availReply is the typed reply of the is_available probe.
 type availReply struct {
@@ -68,10 +79,12 @@ func (s *MWPolling) Build(env *Env) (map[string]AppPart, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctrl := &pollingController{q: newResourceQueue(env.Resources)}
+	ctrl := &pollingController{q: newResourceQueue(env.Resources), home: ctrlNode,
+		seen: make(seenSeqs), holderSeq: make(map[string]uint64, len(env.Resources))}
 	if err := ctrl.export(b); err != nil {
 		return nil, fmt.Errorf("floorcontrol: register controller: %w", err)
 	}
+	s.ctrl = ctrl
 	// One shared port per controller operation: Call carries the polling
 	// subscriber's node, so the parts need no private ports.
 	isAvailable, err := svc.NewPort(b, "controller", "is_available", encCtrlArgs, decAvailReply)
@@ -93,8 +106,19 @@ func (s *MWPolling) Build(env *Env) (map[string]AppPart, error) {
 // semantics. It keeps no wait queues: waiting is the pollers' problem,
 // which is precisely the structural weakness the paper highlights.
 type pollingController struct {
-	mu sync.Mutex
-	q  *resourceQueue
+	exp *svc.Export
+
+	mu   sync.Mutex
+	q    *resourceQueue
+	home middleware.Addr
+	seen seenSeqs
+	// holderSeq remembers the Seq of the probe that acquired each
+	// resource. A redelivered probe of that same acquire (its true reply
+	// was lost to a crash) is answered true again; a probe of a *new*
+	// acquire that finds the subscriber still registered as holder — its
+	// previous free is still in redelivery limbo — reads unavailable,
+	// exactly as if another subscriber held it.
+	holderSeq map[string]uint64
 }
 
 // export hosts the controller's typed operations at ctrlNode.
@@ -109,7 +133,26 @@ func (c *pollingController) export(b *svc.Binding) error {
 	if err := svc.HandleOp(e, "free", decCtrlArgs, encAck, c.free); err != nil {
 		return err
 	}
+	c.exp = e
 	return e.Register()
+}
+
+// node returns the controller's current hosting node.
+func (c *pollingController) node() middleware.Addr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.home
+}
+
+// failover re-homes the controller export onto node.
+func (c *pollingController) failover(node middleware.Addr) error {
+	if err := c.exp.Rebind(node); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.home = node
+	c.mu.Unlock()
+	return nil
 }
 
 func (c *pollingController) isAvailable(a ctrlArgs, respond func(availReply, error)) {
@@ -119,13 +162,28 @@ func (c *pollingController) isAvailable(a ctrlArgs, respond func(availReply, err
 		respond(availReply{}, fmt.Errorf("unknown resource %q", a.Res))
 		return
 	}
+	if a.Seq != 0 && c.q.holder[a.Res] == a.Sub && c.holderSeq[a.Res] == a.Seq {
+		// Redelivered probe of the test-and-set that already acquired.
+		c.mu.Unlock()
+		respond(availReply{Available: true}, nil)
+		return
+	}
 	got := c.q.tryAcquire(a.Sub, a.Res)
+	if got {
+		c.holderSeq[a.Res] = a.Seq
+	}
 	c.mu.Unlock()
 	respond(availReply{Available: got}, nil)
 }
 
 func (c *pollingController) free(a ctrlArgs, respond func(ack, error)) {
 	c.mu.Lock()
+	if c.seen.dup(a.Sub, a.Seq) {
+		// Redelivered free: already released.
+		c.mu.Unlock()
+		respond(ack{}, nil)
+		return
+	}
 	_, _, err := c.q.release(a.Sub, a.Res)
 	c.mu.Unlock()
 	if err != nil {
@@ -142,6 +200,9 @@ type mwPollingPart struct {
 	sub         string
 	isAvailable *svc.Port[ctrlArgs, availReply]
 	free        *svc.Port[ctrlArgs, ack]
+
+	mu  sync.Mutex
+	seq uint64 // submission counter (churn only)
 }
 
 var _ AppPart = (*mwPollingPart)(nil)
@@ -149,13 +210,29 @@ var _ AppPart = (*mwPollingPart)(nil)
 // Acquire implements AppPart: poll until is_available returns true.
 func (p *mwPollingPart) Acquire(res string, done func()) {
 	p.env.observe(p.sub, PrimRequest, res)
-	p.poll(res, done)
+	var seq uint64
+	if p.env.Churn {
+		p.mu.Lock()
+		p.seq++
+		seq = p.seq
+		p.mu.Unlock()
+	}
+	p.poll(res, done, seq)
 }
 
-func (p *mwPollingPart) poll(res string, done func()) {
-	err := p.isAvailable.Call(middleware.Addr(p.sub), ctrlArgs{Sub: p.sub, Res: res},
+// poll drives one logical acquire; every probe of the loop carries the
+// acquire's Seq. Under churn a transient probe failure — controller down,
+// or the probe interrupted by a crash — re-polls instead of panicking:
+// the test-and-set is idempotent per acquire because the controller keys
+// the holder by Seq, so a lost true reply is recovered by the next probe.
+func (p *mwPollingPart) poll(res string, done func(), seq uint64) {
+	err := p.isAvailable.Call(middleware.Addr(p.sub), ctrlArgs{Sub: p.sub, Res: res, Seq: seq},
 		func(result availReply, err error) {
 			if err != nil {
+				if p.env.Churn && retryable(err) {
+					p.env.Time.ScheduleFunc(p.env.PollInterval, func() { p.poll(res, done, seq) })
+					return
+				}
 				panic(fmt.Sprintf("floorcontrol: is_available from %q: %v", p.sub, err))
 			}
 			if result.Available {
@@ -163,7 +240,7 @@ func (p *mwPollingPart) poll(res string, done func()) {
 				done()
 				return
 			}
-			p.env.Time.ScheduleFunc(p.env.PollInterval, func() { p.poll(res, done) })
+			p.env.Time.ScheduleFunc(p.env.PollInterval, func() { p.poll(res, done, seq) })
 		})
 	if err != nil {
 		panic(fmt.Sprintf("floorcontrol: is_available invoke from %q: %v", p.sub, err))
@@ -173,8 +250,12 @@ func (p *mwPollingPart) poll(res string, done func()) {
 // Release implements AppPart.
 func (p *mwPollingPart) Release(res string) {
 	p.env.observe(p.sub, PrimFree, res)
-	err := p.free.Call(middleware.Addr(p.sub), ctrlArgs{Sub: p.sub, Res: res}, nil)
-	if err != nil {
-		panic(fmt.Sprintf("floorcontrol: free from %q: %v", p.sub, err))
+	args := ctrlArgs{Sub: p.sub, Res: res}
+	if p.env.Churn {
+		p.mu.Lock()
+		p.seq++
+		args.Seq = p.seq
+		p.mu.Unlock()
 	}
+	sendCtrl(p.env, p.free, middleware.Addr(p.sub), args, "free")
 }

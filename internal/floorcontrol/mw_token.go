@@ -48,10 +48,21 @@ func (*MWToken) Scattering(n int) Scattering {
 // tokenArgs is the typed circulating token: the availability list.
 type tokenArgs struct {
 	Available []string
+	// Gen is the token's hop generation under churn: it increments on
+	// every forward, so each part sees strictly increasing generations
+	// and can discard an at-least-once redelivered pass (a churn retry
+	// whose first copy landed) — the one failure that would fork the
+	// token into two. Zero fault-free and then kept off the wire, so
+	// fault-free encodings stay byte-identical to the pre-churn token.
+	Gen uint64
 }
 
 func encTokenArgs(t tokenArgs) codec.Record {
-	return codec.Record{"available": codec.StringList(t.Available)}
+	r := codec.Record{"available": codec.StringList(t.Available)}
+	if t.Gen != 0 {
+		r["gen"] = int64(t.Gen)
+	}
+	return r
 }
 
 func decTokenArgs(r codec.Record) (tokenArgs, error) {
@@ -59,7 +70,8 @@ func decTokenArgs(r codec.Record) (tokenArgs, error) {
 	if err != nil {
 		return tokenArgs{}, fmt.Errorf("malformed token: %w", err)
 	}
-	return tokenArgs{Available: avail}, nil
+	gen, _ := r["gen"].(int64)
+	return tokenArgs{Available: avail, Gen: uint64(gen)}, nil
 }
 
 // Build implements Solution. The token starts at the first subscriber
@@ -90,9 +102,14 @@ func (s *MWToken) Build(env *Env) (map[string]AppPart, error) {
 		}
 		part.next = next
 	}
-	// Inject the initial token at the first subscriber.
+	// Inject the initial token at the first subscriber. Under churn the
+	// token carries generation 1 from the start so every hop is dedupable.
 	initial := append([]string(nil), env.Resources...)
-	env.Time.ScheduleFunc(0, func() { ring[0].onToken(initial) })
+	var startGen uint64
+	if env.Churn {
+		startGen = 1
+	}
+	env.Time.ScheduleFunc(0, func() { ring[0].onToken(initial, startGen) })
 	return parts, nil
 }
 
@@ -108,6 +125,7 @@ type mwTokenPart struct {
 	wantRes   string
 	wantDone  func()
 	toRelease []string
+	seenGen   uint64 // highest token generation accepted (churn only)
 }
 
 var _ AppPart = (*mwTokenPart)(nil)
@@ -126,13 +144,30 @@ func (p *mwTokenPart) export(b *svc.Binding) error {
 }
 
 func (p *mwTokenPart) onPass(t tokenArgs, respond func(ack, error)) {
+	if t.Gen != 0 {
+		p.mu.Lock()
+		dup := t.Gen <= p.seenGen
+		if !dup {
+			p.seenGen = t.Gen
+		}
+		p.mu.Unlock()
+		if dup {
+			// At-least-once redelivery of a pass whose first copy landed:
+			// the token has moved on. Acknowledging without acting keeps
+			// exactly one token alive on the ring.
+			respond(ack{}, nil)
+			return
+		}
+	}
 	respond(ack{}, nil)
-	p.onToken(t.Available)
+	p.onToken(t.Available, t.Gen)
 }
 
 // onToken examines the circulating availability list, takes a wanted
 // resource, inserts releases, and forwards the token after the hop delay.
-func (p *mwTokenPart) onToken(avail []string) {
+// gen is the generation this part received the token at (zero fault-free);
+// the forwarded token carries gen+1.
+func (p *mwTokenPart) onToken(avail []string, gen uint64) {
 	p.mu.Lock()
 	// Insert releases accumulated since the last visit.
 	avail = append(avail, p.toRelease...)
@@ -157,12 +192,37 @@ func (p *mwTokenPart) onToken(avail []string) {
 		granted()
 	}
 	forward := append([]string(nil), avail...)
-	p.env.Time.ScheduleFunc(p.env.TokenHopDelay, func() {
-		err := p.pass.Call(middleware.Addr(p.sub), tokenArgs{Available: forward}, nil)
-		if err != nil {
-			panic(fmt.Sprintf("floorcontrol: pass from %q to %q: %v", p.sub, p.next, err))
+	nextGen := gen
+	if gen != 0 {
+		nextGen = gen + 1
+	}
+	p.env.Time.ScheduleFunc(p.env.TokenHopDelay, func() { p.forward(forward, nextGen) })
+}
+
+// forward passes the token to the ring successor. Fault-free, a
+// submission failure is a deployment bug and panics. Under churn the
+// token is the single carrier of liveness, so a transient pass failure —
+// successor down, this part's own node down (a crashed node cannot
+// transmit, so the platform fails its invokes fast), or the pass
+// interrupted by a crash — is retried with the same generation after a
+// hop delay; the successor's generation dedup makes redelivery safe when
+// the first copy did land.
+func (p *mwTokenPart) forward(avail []string, gen uint64) {
+	var cont func(ack, error)
+	if p.env.Churn {
+		cont = func(_ ack, err error) {
+			switch {
+			case err == nil:
+			case retryable(err):
+				p.env.Time.ScheduleFunc(p.env.TokenHopDelay, func() { p.forward(avail, gen) })
+			default:
+				panic(fmt.Sprintf("floorcontrol: pass from %q to %q: %v", p.sub, p.next, err))
+			}
 		}
-	})
+	}
+	if err := p.pass.Call(middleware.Addr(p.sub), tokenArgs{Available: avail, Gen: gen}, cont); err != nil {
+		panic(fmt.Sprintf("floorcontrol: pass from %q to %q: %v", p.sub, p.next, err))
+	}
 }
 
 // Acquire implements AppPart: registers interest; the token visit grants.

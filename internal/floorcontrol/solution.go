@@ -1,6 +1,7 @@
 package floorcontrol
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -74,6 +75,14 @@ type Env struct {
 	Lower protocol.LowerService
 	// Layer is set by protocol solutions for PDU statistics.
 	Layer *protocol.Layer
+
+	// Churn is set when the workload runs under a crash/restart fault
+	// plan. Solutions then arm their recovery machinery — idempotent
+	// retries, probe deadlines, token redelivery dedup. The machinery
+	// must stay fully inert when Churn is false: fault-free runs keep
+	// their exact historical event streams and wire bytes (the golden
+	// band hashes pin this).
+	Churn bool
 }
 
 // observe reports a service-primitive execution at a subscriber's SAP to
@@ -132,6 +141,72 @@ func SolutionByName(name string) (Solution, bool) {
 // ctrlNode is the hosting node of asymmetric-solution controllers.
 const ctrlNode = "ctrl"
 
+// ctrlStandby is the node a failover rebind policy re-homes a crashed
+// controller onto. It is never part of the fault plan, so a failed-over
+// controller stays up for the rest of the run.
+const ctrlStandby = "ctrl2"
+
+// Rebind policies for controller-node crashes (Config.RebindPolicy).
+const (
+	// RebindNone waits out the crashed controller's MTTR: callers fail
+	// fast with ErrUnavailable and retry until the node restarts.
+	RebindNone = "none"
+	// RebindFailover re-homes the controller export onto ctrlStandby at
+	// the instant its node crashes (live rebinding).
+	RebindFailover = "failover"
+)
+
+// ControllerFailover is the optional Solution extension for the
+// asymmetric middleware solutions, whose coordination state lives in a
+// controller component on a single node — the paradigm's built-in single
+// point of failure. Implementers opt that node into the churn fault plan
+// and expose the live-rebinding move the failover policy performs.
+// Protocol and MDA solutions keep their coordination behind the service
+// boundary with no per-solution recovery hook, so only their subscriber
+// nodes churn.
+type ControllerFailover interface {
+	// ControllerNode returns the controller's current hosting node.
+	ControllerNode() middleware.Addr
+	// Failover re-homes the controller component onto node, carrying its
+	// coordination state. The churn driver calls it at the instant the
+	// controller's node crashes under RebindFailover.
+	Failover(node middleware.Addr) error
+}
+
+// retryable reports whether a churn-time call failure is transient: the
+// callee node is down (fail-fast, or the call interrupted by its crash)
+// or the reply was lost to the wire (call timeout). An application-level
+// rejection is not retryable — no redelivery can fix it.
+func retryable(err error) bool {
+	return errors.Is(err, svc.ErrUnavailable) || errors.Is(err, svc.ErrTimeout)
+}
+
+// sendCtrl invokes a void controller operation through a shared typed
+// port. Fault-free, a submission failure is a deployment bug and panics.
+// Under churn a transient failure — controller crashed and not yet
+// restarted or failed over, the call interrupted mid-flight by a crash,
+// or the reply lost — is retried after a poll interval until it gets
+// through. Retries resend args verbatim, Seq included: at-least-once
+// submission is safe because the controllers dedup stamped submissions
+// (seenSeqs) and acknowledge duplicates as successes.
+func sendCtrl(env *Env, port *svc.Port[ctrlArgs, ack], from middleware.Addr, args ctrlArgs, op string) {
+	var cont func(ack, error)
+	if env.Churn {
+		cont = func(_ ack, err error) {
+			switch {
+			case err == nil:
+			case retryable(err):
+				env.Time.ScheduleFunc(env.PollInterval, func() { sendCtrl(env, port, from, args, op) })
+			default:
+				panic(fmt.Sprintf("floorcontrol: %s from %q: %v", op, from, err))
+			}
+		}
+	}
+	if err := port.Call(from, args, cont); err != nil {
+		panic(fmt.Sprintf("floorcontrol: %s from %q: %v", op, from, err))
+	}
+}
+
 // bindService declares the floor-control service over the env's
 // middleware platform and returns the typed-port binding every
 // middleware solution programs against. The bind profile-checks the
@@ -165,31 +240,81 @@ func subObjRef(sub string) middleware.ObjRef {
 type ctrlArgs struct {
 	Sub string
 	Res string
+	// Seq identifies the logical submission under churn so controllers
+	// can absorb at-least-once redelivery: every retry of one operation
+	// carries the Seq of the original. Each subscriber part stamps its
+	// submissions from a private counter, so (Sub, Seq) is unique per
+	// logical operation. Zero fault-free — unstamped submissions are
+	// never deduped and stay off the wire, keeping fault-free encodings
+	// byte-identical to the pre-churn protocol.
+	Seq uint64
 }
 
 func encCtrlArgs(a ctrlArgs) codec.Record {
-	return codec.Record{"subid": a.Sub, ParamResource: a.Res}
+	r := codec.Record{"subid": a.Sub, ParamResource: a.Res}
+	if a.Seq != 0 {
+		r["seq"] = int64(a.Seq)
+	}
+	return r
 }
 
 func decCtrlArgs(r codec.Record) (ctrlArgs, error) {
 	sub, _ := r["subid"].(string)
 	res, _ := r[ParamResource].(string)
-	return ctrlArgs{Sub: sub, Res: res}, nil
+	seq, _ := r["seq"].(int64)
+	return ctrlArgs{Sub: sub, Res: res, Seq: uint64(seq)}, nil
+}
+
+// seenSeqs records which stamped subscriber submissions a controller has
+// already processed, absorbing at-least-once redelivery under churn.
+// Retries can arrive after later fresh submissions from the same
+// subscriber (a limbo free redelivered after the next cycle's request),
+// so this must be an exact per-subscriber set — a high-watermark would
+// silently drop the reordered original. Callers serialize access under
+// the controller mutex.
+type seenSeqs map[string]map[uint64]struct{}
+
+// dup reports whether (sub, seq) was already processed, recording fresh
+// stamped submissions. Unstamped (fault-free) submissions never dedup.
+func (s seenSeqs) dup(sub string, seq uint64) bool {
+	if seq == 0 {
+		return false
+	}
+	m := s[sub]
+	if m == nil {
+		m = make(map[uint64]struct{})
+		s[sub] = m
+	}
+	if _, ok := m[seq]; ok {
+		return true
+	}
+	m[seq] = struct{}{}
+	return false
 }
 
 // grantArgs is the typed payload of the controller→subscriber grant
 // callback.
 type grantArgs struct {
 	Res string
+	// Seq echoes the Seq of the request being answered, so the
+	// subscriber can discard a duplicate grant (a churn retry whose
+	// first copy landed before the subscriber crashed) instead of
+	// mistaking it for the answer to a later request. Zero fault-free.
+	Seq uint64
 }
 
 func encGrantArgs(a grantArgs) codec.Record {
-	return codec.Record{ParamResource: a.Res}
+	r := codec.Record{ParamResource: a.Res}
+	if a.Seq != 0 {
+		r["seq"] = int64(a.Seq)
+	}
+	return r
 }
 
 func decGrantArgs(r codec.Record) (grantArgs, error) {
 	res, _ := r[ParamResource].(string)
-	return grantArgs{Res: res}, nil
+	seq, _ := r["seq"].(int64)
+	return grantArgs{Res: res, Seq: uint64(seq)}, nil
 }
 
 // ack is the empty acknowledgement reply of void operations.

@@ -63,6 +63,19 @@ func (c Config) ScenarioID() string {
 	if d.RawTransport {
 		sb.WriteString("/raw")
 	}
+	// Churn parameters ARE workload identity — unlike Shards, which only
+	// selects the execution engine, a different crash rate or MTTR is a
+	// different experiment and must fork the scenario ID (and hence the
+	// derived seed and the fault schedule).
+	if d.CrashRate > 0 {
+		fmt.Fprintf(&sb, "/crash=%g/mttr=%s", d.CrashRate, d.MTTR)
+		if d.RebindPolicy != RebindNone {
+			fmt.Fprintf(&sb, "/rebind=%s", d.RebindPolicy)
+		}
+		if d.AcquireTimeout != time.Second {
+			fmt.Fprintf(&sb, "/acqto=%s", d.AcquireTimeout)
+		}
+	}
 	return sb.String()
 }
 
@@ -71,13 +84,19 @@ func (c Config) ScenarioID() string {
 func (c Config) Params() map[string]string {
 	d := c
 	d.applyDefaults()
-	return map[string]string{
+	p := map[string]string{
 		"solution":    d.Solution,
 		"subscribers": fmt.Sprintf("%d", d.Subscribers),
 		"resources":   fmt.Sprintf("%d", d.Resources),
 		"cycles":      fmt.Sprintf("%d", d.Cycles),
 		"loss":        fmt.Sprintf("%g", d.LossRate),
 	}
+	if d.CrashRate > 0 {
+		p["crash_rate"] = fmt.Sprintf("%g", d.CrashRate)
+		p["mttr"] = d.MTTR.String()
+		p["rebind"] = d.RebindPolicy
+	}
+	return p
 }
 
 // Summary flattens the Result into named numeric measurements — the
@@ -88,7 +107,7 @@ func (r *Result) Summary() map[string]float64 {
 	if r.ConformanceErr != nil {
 		conforms = 0
 	}
-	return map[string]float64{
+	m := map[string]float64{
 		"completed":       float64(r.Completed),
 		"expected":        float64(r.Expected),
 		"net_msgs":        float64(r.NetMessages),
@@ -101,6 +120,18 @@ func (r *Result) Summary() map[string]float64 {
 		"virtual_ms":      float64(r.VirtualDuration) / float64(time.Millisecond),
 		"conforms":        conforms,
 	}
+	if r.Churn {
+		safetyOK := 0.0
+		if r.SafetyOK {
+			safetyOK = 1
+		}
+		m["offered"] = float64(r.Offered)
+		m["served"] = float64(r.Served)
+		m["availability"] = r.Availability
+		m["crashes"] = float64(r.Crashes)
+		m["safety_ok"] = safetyOK
+	}
+	return m
 }
 
 // SummaryLine renders the one-line human-readable form of the Result used
@@ -110,10 +141,19 @@ func (r *Result) SummaryLine() string {
 	if r.ConformanceErr != nil {
 		conf = "VIOLATION: " + r.ConformanceErr.Error()
 	}
-	return fmt.Sprintf("%s [%s/%s]: %d/%d cycles, %d net msgs, %d bytes, acquire mean %s p95 %s, fairness %.3f, %s",
+	line := fmt.Sprintf("%s [%s/%s]: %d/%d cycles, %d net msgs, %d bytes, acquire mean %s p95 %s, fairness %.3f, %s",
 		r.Solution, r.Paradigm, r.Style,
 		r.Completed, r.Expected, r.NetMessages, r.NetBytes,
 		r.AcquireLatency.Mean().Round(10*time.Microsecond),
 		r.AcquireLatency.P95().Round(10*time.Microsecond),
 		r.FairnessIndex, conf)
+	if r.Churn {
+		safety := "safety ok"
+		if !r.SafetyOK {
+			safety = fmt.Sprintf("SAFETY VIOLATIONS: %d", r.SafetyViolations)
+		}
+		line += fmt.Sprintf(", churn: %d/%d served (availability %.3f), %d crashes, %s",
+			r.Served, r.Offered, r.Availability, r.Crashes, safety)
+	}
+	return line
 }

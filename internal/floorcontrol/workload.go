@@ -3,9 +3,11 @@ package floorcontrol
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/middleware"
 	"repro/internal/network"
@@ -51,6 +53,27 @@ type Config struct {
 	// parameter, not part of scenario identity: results are byte-identical
 	// for every K, so it never appears in scenario IDs or sweep output.
 	Shards int
+	// CrashRate enables churn: each fault subject (every subscriber node,
+	// plus the controller node of solutions that support failover) crashes
+	// at this rate per second of virtual time, alternating with repairs of
+	// mean duration MTTR. Zero disables the fault plan entirely — churn
+	// parameters ARE workload identity (unlike Shards), so they appear in
+	// scenario IDs and fold into derived seeds.
+	CrashRate float64
+	// MTTR is the mean time to repair a crashed node. Defaults to 100ms
+	// when churn is enabled.
+	MTTR time.Duration
+	// RebindPolicy selects what happens when a failover-capable solution's
+	// controller node crashes: RebindNone (default) waits out the repair,
+	// RebindFailover live-rebinds the controller onto a standby node at
+	// the crash instant.
+	RebindPolicy string
+	// AcquireTimeout bounds one acquire attempt under churn: a grant that
+	// takes longer is charged as an availability loss (the cycle still
+	// waits for the grant, returns the resource, and moves on, so the
+	// coordination protocol never sees a cancelled acquire). Defaults to
+	// 1s when churn is enabled.
+	AcquireTimeout time.Duration
 	// RawTransport, when true, runs the solution's substrate directly over
 	// the unreliable datagram service instead of the reliable-datagram
 	// layer. It is the Figure 8 experiment: swapping the interaction
@@ -92,6 +115,17 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Profile.Name == "" {
 		c.Profile = middleware.ProfileCORBALike
+	}
+	if c.RebindPolicy == "" {
+		c.RebindPolicy = RebindNone
+	}
+	if c.CrashRate > 0 {
+		if c.MTTR <= 0 {
+			c.MTTR = 100 * time.Millisecond
+		}
+		if c.AcquireTimeout <= 0 {
+			c.AcquireTimeout = time.Second
+		}
 	}
 }
 
@@ -152,6 +186,119 @@ type Result struct {
 	Trace core.Trace
 	// Scattering is the structural Figure-7 metric for this deployment.
 	Scattering Scattering
+
+	// Churn reports whether the run executed under a fault plan; the
+	// fields below are only populated then.
+	Churn bool
+	// Offered counts acquire attempts; Served counts grants that landed
+	// within AcquireTimeout. Availability is Served/Offered (1 when
+	// nothing was offered).
+	Offered      int
+	Served       int
+	Availability float64
+	// Crashes counts fault-plan crash events fired during the run.
+	Crashes int
+	// SafetyViolations counts conformance violations that are NOT
+	// end-of-trace liveness misses: under churn, starvation is expected
+	// (it is the availability loss being measured), but a safety
+	// violation — a grant without request, two simultaneous holders —
+	// means the recovery machinery corrupted the coordination. SafetyOK
+	// is the gate the churn band enforces.
+	SafetyViolations int
+	SafetyOK         bool
+}
+
+// faultSeedSalt decorrelates the fault plan's RNG stream from the
+// engine's, which is seeded with the same cfg.Seed.
+const faultSeedSalt = 0x6661756c74 // "fault"
+
+// scheduleChurn derives the deterministic fault plan for a churn run and
+// schedules it on the network. Subjects are every subscriber node plus —
+// only for solutions exposing ControllerFailover — the controller node:
+// those solutions carry the asymmetric paradigm's single point of
+// failure along with recovery machinery to survive losing it, while
+// protocol and MDA solutions keep their coordination behind the service
+// boundary with no per-solution recovery hook, so only their subscriber
+// nodes churn. The plan is drawn from a salted RNG independent of the
+// engine and of shard count, so churn runs stay byte-identical for
+// every K.
+func scheduleChurn(cfg Config, sol Solution, env *Env, res *Result,
+	transport protocol.LowerService, crashedSub map[string]bool, parked map[string]func()) error {
+	rb, rebindable := sol.(ControllerFailover)
+	subjects := append([]string(nil), env.Subscribers...)
+	var ctrlHome middleware.Addr
+	if rebindable {
+		ctrlHome = rb.ControllerNode()
+		subjects = append(subjects, string(ctrlHome))
+	}
+	if env.Platform != nil {
+		// Pure-client nodes (e.g. polling subscribers, which export no
+		// callback object) attach lazily on their first call — after the
+		// fault plan is scheduled. The plan may only reference nodes the
+		// network knows, so attach every subject now.
+		for _, s := range subjects {
+			if err := env.Platform.AttachNode(middleware.Addr(s)); err != nil {
+				return fmt.Errorf("floorcontrol: attach fault subject %q: %w", s, err)
+			}
+		}
+	}
+	spec := fault.Spec{CrashRate: cfg.CrashRate, MTTR: cfg.MTTR, Horizon: cfg.Deadline}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ faultSeedSalt))
+	events, err := fault.Schedule(spec, subjects, rng)
+	if err != nil {
+		return fmt.Errorf("floorcontrol: fault schedule: %w", err)
+	}
+	rdp, _ := transport.(*protocol.ReliableDatagram)
+	isSub := make(map[string]bool, len(env.Subscribers))
+	for _, s := range env.Subscribers {
+		isSub[s] = true
+	}
+	plan := &network.FaultPlan{
+		Events: events,
+		OnCrash: func(id network.NodeID) {
+			name := string(id)
+			res.Crashes++
+			if env.Platform != nil {
+				env.Platform.NodeDown(middleware.Addr(name))
+			}
+			if isSub[name] {
+				crashedSub[name] = true
+			}
+			if rebindable && cfg.RebindPolicy == RebindFailover && middleware.Addr(name) == ctrlHome {
+				// Live rebinding at the crash instant: the controller
+				// component moves to the standby node, which is never a
+				// fault subject, so the coordinator stays reachable for
+				// the rest of the run.
+				if err := rb.Failover(ctrlStandby); err != nil {
+					panic(fmt.Sprintf("floorcontrol: failover to %q: %v", ctrlStandby, err))
+				}
+				ctrlHome = ctrlStandby
+			}
+		},
+		OnRestart: func(id network.NodeID) {
+			name := string(id)
+			if rdp != nil {
+				// Tear down transport flows of the old incarnation: stale
+				// retransmit timers and half-open flows must not leak into
+				// the restarted node's traffic.
+				rdp.NoteRestart(protocol.Addr(name))
+			}
+			if env.Platform != nil {
+				env.Platform.NodeUp(middleware.Addr(name))
+			}
+			if crashedSub[name] {
+				delete(crashedSub, name)
+				if k := parked[name]; k != nil {
+					delete(parked, name)
+					k()
+				}
+			}
+		},
+	}
+	if err := env.Net.ScheduleFaultPlan(plan); err != nil {
+		return fmt.Errorf("floorcontrol: fault plan: %w", err)
+	}
+	return nil
 }
 
 // RunWorkload executes the named solution under the configured workload
@@ -183,6 +330,11 @@ func RunWorkloadWith(sol Solution, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("floorcontrol: observer: %w", err)
 	}
 
+	churn := cfg.CrashRate > 0
+	if churn && cfg.RebindPolicy != RebindNone && cfg.RebindPolicy != RebindFailover {
+		return nil, fmt.Errorf("floorcontrol: unknown rebind policy %q", cfg.RebindPolicy)
+	}
+
 	env := &Env{
 		Time:          engine,
 		Net:           net,
@@ -191,6 +343,7 @@ func RunWorkloadWith(sol Solution, cfg Config) (*Result, error) {
 		Resources:     ResourceNames(cfg.Resources),
 		PollInterval:  cfg.PollInterval,
 		TokenHopDelay: cfg.TokenHopDelay,
+		Churn:         churn,
 	}
 	var transport protocol.LowerService = protocol.NewReliableDatagram(engine, protocol.NewUnreliableDatagram(net), protocol.ReliableDatagramConfig{})
 	if cfg.RawTransport {
@@ -229,26 +382,78 @@ func RunWorkloadWith(sol Solution, cfg Config) (*Result, error) {
 		return d/2 + time.Duration(engine.Rand().Int63n(int64(d)))
 	}
 
+	// Frozen-node discipline: while a subscriber's node is crashed, its
+	// driver does nothing — a dead process neither acquires nor releases.
+	// The (at most one, the driver is sequential per subscriber) driver
+	// continuation that fires during the outage is parked and resumes at
+	// the restart instant. Both maps stay empty fault-free.
+	crashedSub := make(map[string]bool, cfg.Subscribers)
+	parked := make(map[string]func(), cfg.Subscribers)
+	step := func(sub string, fn func()) {
+		if crashedSub[sub] {
+			parked[sub] = fn
+			return
+		}
+		fn()
+	}
+
 	remaining := res.Expected
 	var runCycle func(sub string, part AppPart, cycle int)
+	advance := func(sub string, part AppPart, cycle int) {
+		remaining--
+		if remaining == 0 {
+			engine.Stop()
+		} else if cycle+1 < cfg.Cycles {
+			runCycle(sub, part, cycle+1)
+		}
+	}
 	runCycle = func(sub string, part AppPart, cycle int) {
 		engine.ScheduleFunc(jitter(cfg.ThinkTime), func() {
-			target := env.Resources[engine.Rand().Intn(len(env.Resources))]
-			start := engine.Now()
-			part.Acquire(target, func() {
-				elapsed := engine.Now() - start
-				res.AcquireLatency.Add(elapsed)
-				res.LatencyBySubscriber[sub].Add(elapsed)
-				engine.ScheduleFunc(jitter(cfg.HoldTime), func() {
-					part.Release(target)
-					res.Completed++
-					remaining--
-					if remaining == 0 {
-						engine.Stop()
-					} else if cycle+1 < cfg.Cycles {
-						runCycle(sub, part, cycle+1)
+			step(sub, func() {
+				target := env.Resources[engine.Rand().Intn(len(env.Resources))]
+				start := engine.Now()
+				if churn {
+					res.Offered++
+				}
+				granted, timedOut := false, false
+				part.Acquire(target, func() {
+					if granted {
+						return
 					}
+					granted = true
+					if timedOut {
+						// The grant outlived the acquire deadline; the cycle
+						// was already charged as an availability loss. Return
+						// the resource immediately and move on — the driver
+						// never abandons an acquire, so every solution keeps
+						// its one-outstanding-acquire invariant.
+						step(sub, func() {
+							part.Release(target)
+							advance(sub, part, cycle)
+						})
+						return
+					}
+					elapsed := engine.Now() - start
+					if churn {
+						res.Served++
+					}
+					res.AcquireLatency.Add(elapsed)
+					res.LatencyBySubscriber[sub].Add(elapsed)
+					engine.ScheduleFunc(jitter(cfg.HoldTime), func() {
+						step(sub, func() {
+							part.Release(target)
+							res.Completed++
+							advance(sub, part, cycle)
+						})
+					})
 				})
+				if churn {
+					engine.ScheduleFunc(cfg.AcquireTimeout, func() {
+						if !granted {
+							timedOut = true
+						}
+					})
+				}
 			})
 		})
 	}
@@ -260,6 +465,12 @@ func RunWorkloadWith(sol Solution, cfg Config) (*Result, error) {
 		runCycle(sub, part, 0)
 	}
 	engine.ScheduleFunc(cfg.Deadline, func() { engine.Stop() })
+
+	if churn {
+		if err := scheduleChurn(cfg, sol, env, res, transport, crashedSub, parked); err != nil {
+			return nil, err
+		}
+	}
 
 	if _, err := engine.Run(); err != nil && !errors.Is(err, sim.ErrStopped) {
 		return nil, fmt.Errorf("floorcontrol: run %s: %w", sol.Name(), err)
@@ -278,6 +489,23 @@ func RunWorkloadWith(sol Solution, cfg Config) (*Result, error) {
 	}
 	res.ConformanceErr = observer.Complete()
 	res.Trace = observer.Trace()
+	if churn {
+		res.Churn = true
+		// Liveness misses (end-of-trace violations, Event == nil) are the
+		// availability loss churn measures; anything else — a violation
+		// anchored at a trace event, or a non-violation error — is a
+		// safety breach the recovery machinery must never produce.
+		for _, v := range observer.Violations() {
+			if ve, ok := core.AsViolation(v); !ok || ve.Event != nil {
+				res.SafetyViolations++
+			}
+		}
+		res.SafetyOK = res.SafetyViolations == 0
+		res.Availability = 1
+		if res.Offered > 0 {
+			res.Availability = float64(res.Served) / float64(res.Offered)
+		}
+	}
 	// Collect means in deployment order, not map order: float addition is
 	// not associative, so Jain's index would otherwise wobble at the last
 	// ulp from run to run.

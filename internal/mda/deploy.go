@@ -89,9 +89,16 @@ type Deployment struct {
 	tb          sim.Timebase
 	platform    *middleware.Platform
 	ports       *svc.Binding
+	pim         *PIM
 	realization Realization
 	logic       *Logic
 	messaging   messaging
+
+	// registered and queued make the endpoint installers idempotent, so
+	// Rerealize can re-run them when migrating to a platform whose
+	// realization needs endpoints the first deployment never installed.
+	registered map[ComponentID]bool
+	queued     map[ComponentID]bool
 
 	mu      sync.Mutex
 	sapOf   map[ComponentID]core.SAP
@@ -186,8 +193,11 @@ func Deploy(tb sim.Timebase, transport protocol.LowerService, pim *PIM, target C
 		tb:          tb,
 		platform:    platform,
 		ports:       binding,
+		pim:         pim,
 		realization: realization,
 		logic:       logic,
+		registered:  make(map[ComponentID]bool, len(logic.Components)),
+		queued:      make(map[ComponentID]bool, len(logic.Components)),
 		sapOf:       make(map[ComponentID]core.SAP, len(logic.SAPBinding)),
 		binding:     make(map[core.SAP]ComponentID, len(logic.SAPBinding)),
 		upcalls:     make(map[core.SAP]func(string, codec.Record)),
@@ -315,10 +325,14 @@ func decQueueEnvelope(m codec.Message) (wireEnvelope, error) {
 }
 
 // registerObjects hosts each component as a typed export exposing the
-// generic deliver operation.
+// generic deliver operation. Idempotent: components already hosted from
+// an earlier realization are kept as they are.
 func (d *Deployment) registerObjects() error {
 	for id := range d.logic.Components {
 		id := id
+		if d.registered[id] {
+			continue
+		}
 		e, err := d.ports.NewExport(objRef(id), d.logic.Placement[id])
 		if err != nil {
 			return fmt.Errorf("mda: register %q: %w", id, err)
@@ -334,15 +348,19 @@ func (d *Deployment) registerObjects() error {
 		if err := e.Register(); err != nil {
 			return fmt.Errorf("mda: register %q: %w", id, err)
 		}
+		d.registered[id] = true
 	}
 	return nil
 }
 
 // subscribeQueues declares and consumes one queue per component through
-// typed queue sources.
+// typed queue sources. Idempotent, like registerObjects.
 func (d *Deployment) subscribeQueues() error {
 	for id := range d.logic.Components {
 		id := id
+		if d.queued[id] {
+			continue
+		}
 		if err := d.ports.DeclareQueue(queueName(id)); err != nil {
 			return fmt.Errorf("mda: declare queue for %q: %w", id, err)
 		}
@@ -354,7 +372,29 @@ func (d *Deployment) subscribeQueues() error {
 		if err != nil {
 			return fmt.Errorf("mda: subscribe queue for %q: %w", id, err)
 		}
+		d.queued[id] = true
 	}
+	return nil
+}
+
+// Rerealize migrates the running deployment onto a different concrete
+// platform mid-run — the MDA trajectory replayed live: the platform
+// profile is swapped, any endpoints the new realization needs are
+// installed (existing ones are kept, the installers are idempotent), and
+// directed messages switch to the new platform's async-message adapter.
+// Interactions already in flight complete under the old realization;
+// component state is untouched — this is a platform migration, not a
+// redeployment.
+func (d *Deployment) Rerealize(target ConcretePlatform) error {
+	_, realization, err := PlanTrajectory(d.pim, target)
+	if err != nil {
+		return err
+	}
+	d.platform.SetProfile(target.Profile)
+	if err := d.installMessaging(target); err != nil {
+		return err
+	}
+	d.realization = realization
 	return nil
 }
 

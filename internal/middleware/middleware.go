@@ -200,6 +200,10 @@ type Stats struct {
 	EventDeliver uint64
 	// Timeouts counts RPC deadline expirations.
 	Timeouts uint64
+	// Unavailables counts RPCs failed fast with ErrUnavailable because
+	// the callee node was down (NodeDown) at invoke time or crashed
+	// while the call was pending.
+	Unavailables uint64
 	// WireMessages and WireBytes total every middleware-level message
 	// handed to the transport, across all patterns.
 	WireMessages uint64
@@ -212,10 +216,16 @@ type registration struct {
 	obj    Object
 }
 
-// pendingCall tracks an outstanding RPC at the caller side.
+// pendingCall tracks an outstanding RPC at the caller side. The callee
+// node id lets NodeDown fail calls whose server crashed before replying;
+// the caller node id lets it fail calls whose client crashed — the
+// restarted incarnation has no client-side call state either, so the
+// reply could never be consumed.
 type pendingCall struct {
-	cont  func(codec.Record, error)
-	timer sim.TimerRef // call timeout; zero ref = none armed
+	cont   func(codec.Record, error)
+	timer  sim.TimerRef // call timeout; zero ref = none armed
+	node   int32        // callee's platform node id
+	caller int32        // caller's platform node id
 }
 
 // queueConsumer is one queue subscription, resolved to a dense node id
@@ -303,6 +313,7 @@ type Platform struct {
 
 	eventSinks [][]eventSink // node id → topic subscriptions at that node
 	queueSinks [][]queueSink // node id → queue consumers at that node
+	downNodes  []bool        // node id → marked down by NodeDown
 
 	pending  map[uint64]pendingCall
 	nextCall uint64
@@ -393,6 +404,7 @@ func (p *Platform) ensureRuntime(node Addr) (int32, error) {
 	p.nodeLows = append(p.nodeLows, -1)
 	p.eventSinks = append(p.eventSinks, nil)
 	p.queueSinks = append(p.queueSinks, nil)
+	p.downNodes = append(p.downNodes, false)
 	if node == p.broker {
 		p.brokerID = id
 	}

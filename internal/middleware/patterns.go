@@ -62,9 +62,28 @@ func (p *Platform) Invoke(from Addr, target ObjRef, op string, args codec.Record
 		p.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownObject, target)
 	}
+	if p.downNodes[reg.nodeID] || p.downNodes[fromID] {
+		// Fail fast, but asynchronously: callers treat a synchronous
+		// Invoke error as a programming mistake, while ErrUnavailable is
+		// an operational outcome that belongs on the continuation. The
+		// caller's own node being down fails the same way — a crashed
+		// node cannot transmit, so letting the call proceed would leak a
+		// request the wire silently drops and a pending entry nothing
+		// ever resolves.
+		down := p.nodeAddrs[reg.nodeID]
+		if p.downNodes[fromID] {
+			down = p.nodeAddrs[fromID]
+		}
+		p.stats.Unavailables++
+		p.mu.Unlock()
+		p.scheduleFunc(0, func() {
+			cont(nil, fmt.Errorf("%w: %s is down", ErrUnavailable, down))
+		})
+		return nil
+	}
 	p.nextCall++
 	id := p.nextCall
-	pc := pendingCall{cont: cont}
+	pc := pendingCall{cont: cont, node: reg.nodeID, caller: fromID}
 	if p.profile.CallTimeout > 0 {
 		pc.timer = p.scheduleFuncRef(p.profile.CallTimeout, func() { p.onCallTimeout(id) })
 	}

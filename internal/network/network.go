@@ -49,6 +49,8 @@ var (
 	ErrDuplicateNode = errors.New("network: node already registered")
 	ErrTooLarge      = errors.New("network: payload exceeds link MTU")
 	ErrBadSlot       = errors.New("network: slot out of range")
+	ErrCrashed       = errors.New("network: node already crashed")
+	ErrNotCrashed    = errors.New("network: node is not crashed")
 )
 
 // NodeID names a node on the simulated network.
@@ -140,10 +142,14 @@ type linkState struct {
 
 // delivery is a pooled in-flight datagram: the closure scheduled on the
 // kernel is built once per pooled object and reused, so steady-state
-// delivery allocates nothing.
+// delivery allocates nothing. dstInc is the destination's incarnation at
+// send time: a delivery addressed to an earlier incarnation arrives at a
+// host that crashed (and possibly restarted) while it was on the wire,
+// and is dropped.
 type delivery struct {
 	n        *Network
 	src, dst Slot
+	dstInc   uint32
 	buf      *codec.Buffer
 	fn       func()
 	next     *delivery
@@ -154,7 +160,14 @@ func (d *delivery) run() {
 	n.mu.Lock()
 	var h SlotHandler
 	if int(d.dst) < len(n.handlers) {
-		h = n.handlers[d.dst]
+		if n.crashed[d.dst] || n.incs[d.dst] != d.dstInc {
+			// The destination crashed while this datagram was in flight
+			// (a restart bumps the incarnation, so the old stamp no
+			// longer matches): the datagram arrives at a dead host.
+			n.stats.Dropped++
+		} else {
+			h = n.handlers[d.dst]
+		}
 	}
 	if h != nil {
 		n.stats.Delivered++
@@ -183,6 +196,8 @@ type Network struct {
 	slots    map[NodeID]Slot
 	ids      []NodeID      // slot → name
 	handlers []SlotHandler // slot → delivery handler
+	crashed  []bool        // slot → node is currently crashed
+	incs     []uint32      // slot → incarnation number (1-based; Restart increments)
 
 	// rows is the lazily materialized link table: rows[src] is nil until
 	// some link out of src is configured, then a dense toSlot-indexed
@@ -246,6 +261,8 @@ func (n *Network) Register(id NodeID, h SlotHandler) (Slot, error) {
 	n.slots[id] = s
 	n.ids = append(n.ids, id)
 	n.handlers = append(n.handlers, h)
+	n.crashed = append(n.crashed, false)
+	n.incs = append(n.incs, 1)
 	n.rows = append(n.rows, nil)
 	n.ensureRowWidthLocked(len(n.ids))
 	n.materializeNodeLocked(id, s)
@@ -631,7 +648,11 @@ func (n *Network) transmitLocked(rng *rand.Rand, src, dst Slot, payload []byte, 
 	}
 	n.stats.Sent++
 	n.stats.BytesSent += uint64(len(payload))
-	if cell != nil && cell.partitioned {
+	// Crashed endpoints drop traffic before the loss draw, exactly like a
+	// partition: a crashed source emits nothing and a crashed destination
+	// receives nothing (datagrams already in flight are dropped at
+	// delivery time via the incarnation stamp instead).
+	if (cell != nil && cell.partitioned) || n.crashed[src] || n.crashed[dst] {
 		n.stats.Dropped++
 		return entries, nil
 	}
@@ -670,10 +691,92 @@ func (n *Network) deliveryLocked(rng *rand.Rand, src, dst Slot, cfg *LinkConfig,
 		d.fn = d.run
 	}
 	d.src, d.dst, d.buf = src, dst, buf
+	d.dstInc = n.incs[dst]
 	// The affinity stamp is what turns this delivery into a boundary
 	// event when dst's slot lives on another shard; the single-threaded
 	// kernel ignores it.
 	return sim.BatchEntry{Delay: delay, Fn: d.fn, Aff: sim.AffinityOf(dst)}
+}
+
+// Crash marks a node as crashed (fail-stop): from this instant the slot
+// emits nothing, receives nothing, and every delivery already in flight
+// toward it is dropped on arrival. The node's handler and slot survive —
+// Restart re-attaches them under a fresh incarnation. Crashing an
+// already-crashed node is an error (fault plans alternate crash/restart
+// per node; a double crash indicates a scheduling bug).
+func (n *Network) Crash(id NodeID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.slots[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	if n.crashed[s] {
+		return fmt.Errorf("%w: %q", ErrCrashed, id)
+	}
+	n.crashed[s] = true
+	return nil
+}
+
+// Restart brings a crashed node back on the same slot with the same
+// handler and a fresh incarnation number. Datagrams stamped with the old
+// incarnation (sent before the crash, still in flight) are dropped on
+// arrival; new traffic flows normally. Higher layers observe the
+// incarnation change (IncarnationOfSlot) to tear down stale flow state.
+func (n *Network) Restart(id NodeID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.slots[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	if !n.crashed[s] {
+		return fmt.Errorf("%w: %q", ErrNotCrashed, id)
+	}
+	n.crashed[s] = false
+	n.incs[s]++
+	return nil
+}
+
+// Crashed reports whether a node is currently crashed. Unknown nodes
+// report false.
+func (n *Network) Crashed(id NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.slots[id]
+	return ok && n.crashed[s]
+}
+
+// CrashedSlot is the dense-plane Crashed. Out-of-range slots report
+// false.
+func (n *Network) CrashedSlot(s Slot) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return s >= 0 && int(s) < len(n.crashed) && n.crashed[s]
+}
+
+// Incarnation returns a node's current incarnation number (1 for a node
+// that has never crashed; each Restart increments it). Unknown nodes
+// report 0.
+func (n *Network) Incarnation(id NodeID) uint32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.slots[id]
+	if !ok {
+		return 0
+	}
+	return n.incs[s]
+}
+
+// IncarnationOfSlot is the dense-plane Incarnation. Out-of-range slots
+// report 0.
+func (n *Network) IncarnationOfSlot(s Slot) uint32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if s < 0 || int(s) >= len(n.incs) {
+		return 0
+	}
+	return n.incs[s]
 }
 
 // Stats returns a snapshot of the network counters.

@@ -102,6 +102,17 @@ type IndexedLower interface {
 	SendMultiIndexed(src int32, dsts []int32, pdu []byte) error
 }
 
+// IncarnationProvider is an optional LowerService extension for churn:
+// services whose endpoints can crash and restart report a per-endpoint
+// incarnation number (1-based, bumped on every restart). ReliableDatagram
+// uses it to stamp PDUs with endpoint incarnations so peers detect
+// restarts and tear down stale flow state instead of ghost-acking it.
+type IncarnationProvider interface {
+	// IncarnationOf returns the current incarnation of the endpoint with
+	// the given dense id (0 for unknown ids).
+	IncarnationOf(id int32) uint32
+}
+
 // UnreliableDatagram adapts the simulated network directly: datagrams may
 // be lost, duplicated or reordered according to the link configuration
 // ("send and pray", §2). Its dense endpoint ids are exactly the network's
@@ -114,9 +125,10 @@ type UnreliableDatagram struct {
 }
 
 var (
-	_ LowerService = (*UnreliableDatagram)(nil)
-	_ MultiSender  = (*UnreliableDatagram)(nil)
-	_ IndexedLower = (*UnreliableDatagram)(nil)
+	_ LowerService        = (*UnreliableDatagram)(nil)
+	_ MultiSender         = (*UnreliableDatagram)(nil)
+	_ IndexedLower        = (*UnreliableDatagram)(nil)
+	_ IncarnationProvider = (*UnreliableDatagram)(nil)
 )
 
 // NewUnreliableDatagram wraps a simulated network as a lower service.
@@ -177,6 +189,13 @@ func (u *UnreliableDatagram) EndpointID(addr Addr) (int32, bool) {
 // EndpointAddr implements IndexedLower.
 func (u *UnreliableDatagram) EndpointAddr(id int32) Addr {
 	return u.net.IDOf(id)
+}
+
+// IncarnationOf implements IncarnationProvider: this service's dense ids
+// are exactly the network's node slots, so the incarnation is the
+// network node's.
+func (u *UnreliableDatagram) IncarnationOf(id int32) uint32 {
+	return u.net.IncarnationOfSlot(id)
 }
 
 // Send implements LowerService.

@@ -54,6 +54,18 @@ func (c *ReliableDatagramConfig) applyDefaults() {
 //	rdp.data(seq uint64, payload bytes)
 //	rdp.ack(cum uint64)   — cumulative: all seq < cum received in order
 //
+// Under churn (endpoint crash/restart, see IncarnationProvider) both PDU
+// shapes gain two optional incarnation fields — inc (the sender's own
+// incarnation) and rinc (the sender's view of the receiver's) — stamped
+// only when a value exceeds 1, so fault-free traffic is byte-identical
+// to the pre-churn wire format. The incarnation handshake guarantees no
+// ghost acks and no stale retransmit timers across restarts: data for a
+// previous incarnation of the receiver is dropped (answered by a bare
+// ack carrying the new incarnation, so a retransmitting sender discovers
+// the restart), acks from or to a stale incarnation are discarded, and a
+// detected peer restart tears the flow down through the CloseFlow
+// free-list path so the next Send restarts at sequence zero.
+//
 // Both PDU shapes are schema-compiled and decoded through codec.MsgView,
 // and all per-flow state lives in dense tables keyed by interned small-int
 // endpoint ids: the steady-state data path does zero map lookups and the
@@ -63,13 +75,15 @@ type ReliableDatagram struct {
 	tb     sim.Timebase
 	kern   *sim.Kernel // non-nil when tb is a bare kernel: devirtualized timer arming
 	lower  LowerService
-	ilower IndexedLower // non-nil when lower supports the dense plane
+	ilower IndexedLower        // non-nil when lower supports the dense plane
+	incp   IncarnationProvider // non-nil when lower reports endpoint incarnations
 	cfg    ReliableDatagramConfig
 
 	mu         sync.Mutex
 	ids        map[Addr]int32 // intern: any address seen (attach, send, receive)
 	eps        []endpoint     // own id → endpoint state
 	lowerToOwn []int32        // lower endpoint id → own id (-1 unknown)
+	incs       []uint32       // own id → last known incarnation (1 until a restart is learned)
 	sendRows   [][]*sendFlow  // [srcID][dstID] → flow (nil until first send)
 	recvRows   [][]*recvFlow  // [srcID][dstID] → flow (src = data sender)
 	freeSend   *sendFlow
@@ -90,10 +104,17 @@ var (
 	_ IndexedLower = (*ReliableDatagram)(nil)
 )
 
-// Compiled PDU schemas (field order is canonical/sorted).
+// Compiled PDU schemas (field order is canonical/sorted). The *Inc
+// variants carry the incarnation pair and are used only when either
+// value exceeds 1, so fault-free runs emit exactly the legacy bytes.
+// Receivers look fields up by name on the parsed view, so both shapes of
+// each message name decode through one path (absent fields default to
+// incarnation 1).
 var (
-	schemaRdpData = codec.CompileSchema("rdp.data", "seq", "payload")
-	schemaRdpAck  = codec.CompileSchema("rdp.ack", "cum")
+	schemaRdpData    = codec.CompileSchema("rdp.data", "seq", "payload")
+	schemaRdpAck     = codec.CompileSchema("rdp.ack", "cum")
+	schemaRdpDataInc = codec.CompileSchema("rdp.data", "seq", "payload", "inc", "rinc")
+	schemaRdpAckInc  = codec.CompileSchema("rdp.ack", "cum", "inc", "rinc")
 )
 
 // ReliableStats counts layer-internal work: experiments use it to report
@@ -105,6 +126,8 @@ type ReliableStats struct {
 	Retransmits   uint64
 	OutOfOrder    uint64 // received out of order (held or discarded)
 	Duplicates    uint64
+	StaleDrops    uint64 // PDUs from/to a dead incarnation, discarded
+	FlowResets    uint64 // flows torn down after a detected peer restart
 }
 
 type sendFlow struct {
@@ -114,7 +137,8 @@ type sendFlow struct {
 	timer    sim.TimerRef // retransmit timer; zero ref = disarmed
 	timerFn  func()       // built once per flow lifetime; captures the flow ids
 	retries  int
-	broken   error // sticky first failure; checked on every Send
+	peerInc  uint32 // receiver incarnation this flow talks to (stamped as rinc)
+	broken   error  // sticky first failure; checked on every Send
 	free     *sendFlow
 }
 
@@ -136,6 +160,7 @@ type recvFlow struct {
 	ring     []heldPDU
 	held     int // ring + overflow occupancy, capped at ReorderBuffer
 	overflow map[uint64]*codec.Buffer
+	peerInc  uint32 // sender incarnation this flow tracks (0 until first data)
 	free     *recvFlow
 }
 
@@ -149,12 +174,14 @@ type heldPDU struct {
 func NewReliableDatagram(tb sim.Timebase, lower LowerService, cfg ReliableDatagramConfig) *ReliableDatagram {
 	cfg.applyDefaults()
 	il, _ := lower.(IndexedLower)
+	ip, _ := lower.(IncarnationProvider)
 	kern, _ := tb.(*sim.Kernel)
 	return &ReliableDatagram{
 		tb:     tb,
 		kern:   kern,
 		lower:  lower,
 		ilower: il,
+		incp:   ip,
 		cfg:    cfg,
 		ids:    make(map[Addr]int32),
 	}
@@ -190,6 +217,7 @@ func (r *ReliableDatagram) internLocked(addr Addr) int32 {
 	id := int32(len(r.eps))
 	r.ids[addr] = id
 	r.eps = append(r.eps, endpoint{addr: addr, lowID: -1})
+	r.incs = append(r.incs, 1)
 	r.sendRows = append(r.sendRows, nil)
 	r.recvRows = append(r.recvRows, nil)
 	return id
@@ -341,6 +369,12 @@ func (r *ReliableDatagram) sendFlowLocked(src, dst int32) *sendFlow {
 			f = &sendFlow{}
 		}
 		f.timerFn = func() { r.onTimeout(src, dst) }
+		// Baseline: the last incarnation of dst this layer has learned
+		// (from NoteRestart or from the wire). If it is stale the first
+		// data PDU is refused by the receiver, whose bare ack carries the
+		// current incarnation — the flow tears down, the cache refreshes,
+		// and the next Send starts correctly.
+		f.peerInc = r.incs[dst]
 		row[dst] = f
 	}
 	return f
@@ -432,13 +466,26 @@ func (r *ReliableDatagram) SendMultiIndexed(src int32, dsts []int32, payload []b
 
 // transmitLocked sends one data PDU, encoded through the compiled schema
 // into a pooled buffer (the lower service copies synchronously, so the
-// buffer is recycled on return). Caller holds r.mu.
+// buffer is recycled on return). Caller holds r.mu. Incarnation fields
+// ride only when a value exceeds 1, so fault-free traffic keeps the
+// legacy wire shape byte for byte.
 func (r *ReliableDatagram) transmitLocked(src, dst int32, f *sendFlow, seq uint64, payload []byte) {
 	buf := codec.GetBuffer()
-	e := schemaRdpData.Encoder(buf.B[:0])
-	e.Bytes("payload", payload)
-	e.Uint("seq", seq)
-	data, err := e.Finish()
+	var data []byte
+	var err error
+	if inc := r.incs[src]; inc > 1 || f.peerInc > 1 {
+		e := schemaRdpDataInc.Encoder(buf.B[:0])
+		e.Uint("inc", uint64(inc))
+		e.Bytes("payload", payload)
+		e.Uint("rinc", uint64(f.peerInc))
+		e.Uint("seq", seq)
+		data, err = e.Finish()
+	} else {
+		e := schemaRdpData.Encoder(buf.B[:0])
+		e.Bytes("payload", payload)
+		e.Uint("seq", seq)
+		data, err = e.Finish()
+	}
 	if err != nil {
 		// Payload is opaque bytes; encoding cannot fail for valid inputs.
 		panic(fmt.Sprintf("protocol: encode data PDU: %v", err))
@@ -541,15 +588,77 @@ func (r *ReliableDatagram) dispatch(src, dst int32, pdu []byte) {
 	}
 }
 
+// pduIncs extracts the incarnation pair of a parsed PDU; absent fields
+// (the legacy wire shape) decode as incarnation 1.
+func pduIncs(v *codec.MsgView) (inc, rinc uint32) {
+	inc, rinc = 1, 1
+	if x, ok := v.Uint("inc"); ok {
+		inc = uint32(x)
+	}
+	if x, ok := v.Uint("rinc"); ok {
+		rinc = uint32(x)
+	}
+	return inc, rinc
+}
+
 func (r *ReliableDatagram) onData(src, dst int32, v *codec.MsgView) {
 	seq, ok := v.Uint("seq")
 	if !ok {
 		return
 	}
 	payload, _ := v.Bytes("payload")
+	inc, rinc := pduIncs(v)
 
 	r.mu.Lock()
+	myInc := r.incs[dst]
+	if rinc > myInc {
+		// The sender has seen a later incarnation of this endpoint than
+		// the local cache knows: adopt it (incarnations are monotone)
+		// rather than misclassify live traffic as stale.
+		r.incs[dst] = rinc
+		myInc = rinc
+	}
+	if rinc < myInc {
+		// Addressed to a previous incarnation of this endpoint: the
+		// sender's flow predates our restart. Drop the payload, but
+		// answer with a bare ack carrying the current incarnation — this
+		// is how a retransmitting sender discovers the restart instead
+		// of retransmitting into the void forever.
+		r.stats.StaleDrops++
+		r.sendAckLocked(dst, src, 0, myInc, inc)
+		r.mu.Unlock()
+		return
+	}
 	f := r.recvFlowLocked(src, dst) // direction of data flow
+	switch {
+	case f.peerInc == 0:
+		// First data on a fresh flow: baseline the sender incarnation
+		// from the wire itself (a cache baseline could ghost-accept a
+		// dead incarnation's stragglers).
+		f.peerInc = inc
+		if inc > r.incs[src] {
+			r.incs[src] = inc
+		}
+	case inc < f.peerInc:
+		// Ghost from a dead incarnation of the sender: no delivery, no
+		// ack (the old incarnation is gone; nothing listens for one).
+		r.stats.StaleDrops++
+		r.mu.Unlock()
+		return
+	case inc > f.peerInc:
+		// The sender restarted: its numbering reset to zero and its view
+		// of this flow is gone. Reset the receive flow in place — held
+		// out-of-order PDUs carry the old numbering and must never reach
+		// the application — and tear down the reverse send flow, whose
+		// in-flight state targets the dead incarnation.
+		r.stats.FlowResets++
+		f.resetLocked()
+		f.peerInc = inc
+		if inc > r.incs[src] {
+			r.incs[src] = inc
+		}
+		r.closeSendFlowLocked(dst, src)
+	}
 	// deliver marks the common case (in-order arrival): the aliased
 	// payload is handed to the receiver synchronously, with no copy and
 	// no ready-slice allocation. Out-of-order payloads are copied into
@@ -569,29 +678,17 @@ func (r *ReliableDatagram) onData(src, dst int32, v *codec.MsgView) {
 		r.stats.OutOfOrder++
 		f.holdLocked(seq, payload, r.cfg.ReorderBuffer)
 	}
-	// Cumulative ack of everything in order so far (sent for every data
-	// PDU, so a lost ack is repaired by the next one or a retransmit).
-	ackBuf := codec.GetBuffer()
-	e := schemaRdpAck.Encoder(ackBuf.B[:0])
-	e.Uint("cum", f.expected)
-	data, err := e.Finish()
-	if err != nil {
-		r.mu.Unlock()
-		panic(fmt.Sprintf("protocol: encode ack PDU: %v", err))
-	}
-	r.stats.AcksSent++
 	if deliver {
 		r.stats.DataDelivered += 1 + uint64(len(drained))
 	}
 	ep := &r.eps[dst]
 	recv, recvIdx, srcAddr := ep.recv, ep.recvIdx, r.eps[src].addr
-	// Ack travels dst→src (reverse path). Errors indicate an unregistered
-	// peer, which retransmission cannot fix either; ignore.
-	_ = r.lowerSendLocked(dst, src, data) //nolint:errcheck
+	// Cumulative ack of everything in order so far (sent for every data
+	// PDU, so a lost ack is repaired by the next one or a retransmit).
+	// It travels dst→src (reverse path).
+	r.sendAckLocked(dst, src, f.expected, myInc, f.peerInc)
 	r.mu.Unlock()
 
-	ackBuf.B = data
-	ackBuf.Release()
 	if recv != nil || recvIdx != nil {
 		if deliver {
 			if recvIdx != nil {
@@ -692,13 +789,51 @@ func (f *recvFlow) drainLocked(drained []*codec.Buffer) []*codec.Buffer {
 	return drained
 }
 
+// sendAckLocked encodes and transmits one cumulative ack from→to (the
+// reverse path of a data flow). inc is the acker's own incarnation, rinc
+// the data sender's; both ride the wire only when either exceeds 1, so
+// fault-free acks keep the legacy shape. Caller holds r.mu.
+func (r *ReliableDatagram) sendAckLocked(from, to int32, cum uint64, inc, rinc uint32) {
+	ackBuf := codec.GetBuffer()
+	var data []byte
+	var err error
+	if inc > 1 || rinc > 1 {
+		e := schemaRdpAckInc.Encoder(ackBuf.B[:0])
+		e.Uint("cum", cum)
+		e.Uint("inc", uint64(inc))
+		e.Uint("rinc", uint64(rinc))
+		data, err = e.Finish()
+	} else {
+		e := schemaRdpAck.Encoder(ackBuf.B[:0])
+		e.Uint("cum", cum)
+		data, err = e.Finish()
+	}
+	if err != nil {
+		panic(fmt.Sprintf("protocol: encode ack PDU: %v", err))
+	}
+	r.stats.AcksSent++
+	// Errors indicate an unregistered peer, which retransmission cannot
+	// fix either; ignore.
+	_ = r.lowerSendLocked(from, to, data) //nolint:errcheck
+	ackBuf.B = data
+	ackBuf.Release()
+}
+
 func (r *ReliableDatagram) onAck(src, dst int32, v *codec.MsgView) {
 	cum, ok := v.Uint("cum")
 	if !ok {
 		return
 	}
+	inc, rinc := pduIncs(v)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if rinc < r.incs[dst] {
+		// Ghost ack addressed to a previous incarnation of this sender:
+		// our numbering restarted at zero since, so the cum value would
+		// corrupt the fresh flow. Drop it — no ghost acks.
+		r.stats.StaleDrops++
+		return
+	}
 	// The ack acknowledges data flowing dst→src: send flows are keyed by
 	// (sender, receiver) = (dst of ack delivery, src of ack).
 	row := r.sendRows[dst]
@@ -707,6 +842,25 @@ func (r *ReliableDatagram) onAck(src, dst int32, v *codec.MsgView) {
 	}
 	f := row[src]
 	if f == nil {
+		return
+	}
+	if inc != f.peerInc {
+		if inc < f.peerInc {
+			// Ghost ack from a dead incarnation of the receiver.
+			r.stats.StaleDrops++
+			return
+		}
+		// The receiver restarted: its receive state for this flow is
+		// gone, so every unacknowledged PDU is lost and the numbering
+		// must restart. Tear the flow down through the free-list path —
+		// cancelling the retransmit timer — and remember the new
+		// incarnation so the next Send opens a correctly-stamped flow at
+		// sequence zero.
+		r.stats.FlowResets++
+		if inc > r.incs[src] {
+			r.incs[src] = inc
+		}
+		r.closeSendFlowLocked(dst, src)
 		return
 	}
 	if cum <= f.base {
@@ -759,38 +913,105 @@ func (r *ReliableDatagram) CloseFlow(local, peer Addr) {
 	if !ok1 || !ok2 {
 		return
 	}
-	if row := r.sendRows[localID]; int(peerID) < len(row) {
-		if f := row[peerID]; f != nil {
-			f.timer.Cancel()
-			f.timer = sim.TimerRef{}
-			for i := range f.inFlight {
-				f.inFlight[i].buf.Release()
-				f.inFlight[i] = pending{}
-			}
-			f.inFlight = f.inFlight[:0]
-			f.timerFn = nil
-			f.broken = nil
-			f.free = r.freeSend
-			r.freeSend = f
-			row[peerID] = nil
+	r.closeSendFlowLocked(localID, peerID)
+	r.closeRecvFlowLocked(peerID, localID)
+}
+
+// closeSendFlowLocked tears down the send flow local→peer: unacked
+// in-flight buffers are released, the retransmit timer is cancelled, and
+// the flow struct returns to the free list. Caller holds r.mu.
+func (r *ReliableDatagram) closeSendFlowLocked(local, peer int32) {
+	row := r.sendRows[local]
+	if int(peer) >= len(row) {
+		return
+	}
+	f := row[peer]
+	if f == nil {
+		return
+	}
+	f.timer.Cancel()
+	f.timer = sim.TimerRef{}
+	for i := range f.inFlight {
+		f.inFlight[i].buf.Release()
+		f.inFlight[i] = pending{}
+	}
+	f.inFlight = f.inFlight[:0]
+	f.timerFn = nil
+	f.broken = nil
+	f.free = r.freeSend
+	r.freeSend = f
+	row[peer] = nil
+}
+
+// closeRecvFlowLocked tears down the receive flow sender→local,
+// releasing held out-of-order buffers and returning the struct to the
+// free list. Caller holds r.mu.
+func (r *ReliableDatagram) closeRecvFlowLocked(sender, local int32) {
+	row := r.recvRows[sender]
+	if int(local) >= len(row) {
+		return
+	}
+	f := row[local]
+	if f == nil {
+		return
+	}
+	f.resetLocked()
+	f.free = r.freeRecv
+	r.freeRecv = f
+	row[local] = nil
+}
+
+// resetLocked drops every held out-of-order PDU and rewinds the flow to
+// sequence zero — the in-place teardown used when the peer restarts
+// mid-flow (old-numbering PDUs must never surface in the new flow).
+func (f *recvFlow) resetLocked() {
+	for i := range f.ring {
+		if f.ring[i].buf != nil {
+			f.ring[i].buf.Release()
+			f.ring[i] = heldPDU{}
 		}
 	}
-	if row := r.recvRows[peerID]; int(localID) < len(row) {
-		if f := row[localID]; f != nil {
-			for i := range f.ring {
-				if f.ring[i].buf != nil {
-					f.ring[i].buf.Release()
-					f.ring[i] = heldPDU{}
-				}
+	for seq, b := range f.overflow {
+		b.Release()
+		delete(f.overflow, seq)
+	}
+	f.held = 0
+	f.expected = 0
+}
+
+// NoteRestart informs the layer that the endpoint at addr crashed and
+// restarted, losing all of its flow state: every send flow out of addr
+// and every receive flow into addr is torn down through the CloseFlow
+// free-list path (in-flight buffers released, retransmit timers
+// cancelled), and addr's incarnation cache refreshes from the lower
+// service's IncarnationProvider (bumping locally when the lower service
+// does not report incarnations). Peers are not touched here: they
+// discover the restart through the wire incarnation handshake — a stale
+// data PDU is answered by a bare ack carrying the new incarnation — and
+// tear their halves down lazily.
+func (r *ReliableDatagram) NoteRestart(addr Addr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.ids[addr]
+	if !ok {
+		return
+	}
+	refreshed := false
+	if r.incp != nil {
+		if low, lok := r.lowerIDLocked(id); lok {
+			if inc := r.incp.IncarnationOf(low); inc > 0 {
+				r.incs[id] = inc
+				refreshed = true
 			}
-			for seq, b := range f.overflow {
-				b.Release()
-				delete(f.overflow, seq)
-			}
-			f.held = 0
-			f.free = r.freeRecv
-			r.freeRecv = f
-			row[localID] = nil
 		}
+	}
+	if !refreshed {
+		r.incs[id]++
+	}
+	for peer := range r.sendRows[id] {
+		r.closeSendFlowLocked(id, int32(peer))
+	}
+	for sender := range r.recvRows {
+		r.closeRecvFlowLocked(int32(sender), id)
 	}
 }

@@ -406,14 +406,11 @@ func HandleOp[Req, Resp any](e *Export, op string,
 	return nil
 }
 
-// Register hosts the export on the platform. Dispatches to operations
-// without a handler reply middleware.ErrUnknownOperation, exactly as a
-// hand-written component object would.
-func (e *Export) Register() error {
-	if e.registered {
-		return &classed{class: ErrAlreadyBound, cause: fmt.Errorf("export %q already registered", e.ref)}
-	}
-	obj := middleware.ObjectFunc(func(op string, args codec.Record, reply middleware.Reply) {
+// object builds the export's platform dispatch object. Dispatches to
+// operations without a handler reply middleware.ErrUnknownOperation,
+// exactly as a hand-written component object would.
+func (e *Export) object() middleware.Object {
+	return middleware.ObjectFunc(func(op string, args codec.Record, reply middleware.Reply) {
 		fn := e.lookup(op)
 		if fn == nil {
 			reply(nil, fmt.Errorf("%w: %q", middleware.ErrUnknownOperation, op))
@@ -422,9 +419,33 @@ func (e *Export) Register() error {
 		e.cfg.observeInOp(e.b.tb, op, args)
 		fn(args, reply)
 	})
-	if err := e.b.plat.Register(e.ref, e.node, obj); err != nil {
+}
+
+// Register hosts the export on the platform.
+func (e *Export) Register() error {
+	if e.registered {
+		return &classed{class: ErrAlreadyBound, cause: fmt.Errorf("export %q already registered", e.ref)}
+	}
+	if err := e.b.plat.Register(e.ref, e.node, e.object()); err != nil {
 		return wrapErr(err)
 	}
 	e.registered = true
+	return nil
+}
+
+// Rebind re-homes a registered export to a new hosting node — the
+// failover move of a churn policy: the reference keeps its identity,
+// ports calling it re-route on their next Call, and calls in flight to
+// the old home fail via ErrUnavailable or their deadline. The export's
+// handlers serve unchanged at the new node (a fresh dispatch object is
+// installed; application state recovery is the handler's concern).
+func (e *Export) Rebind(node middleware.Addr) error {
+	if !e.registered {
+		return &classed{class: ErrNoSuchService, cause: fmt.Errorf("export %q not registered", e.ref)}
+	}
+	if err := e.b.plat.Rebind(e.ref, node, e.object()); err != nil {
+		return wrapErr(err)
+	}
+	e.node = node
 	return nil
 }

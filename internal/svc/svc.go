@@ -62,6 +62,10 @@ var (
 	// ErrVetoed: the port's inline monitor rejected the interaction; it
 	// was not transmitted.
 	ErrVetoed = errors.New("svc: interaction vetoed by monitor")
+	// ErrUnavailable: the target's hosting node is down (crashed and not
+	// yet restarted). Distinct from ErrTimeout so retry/rebind policies
+	// can react immediately instead of waiting out a deadline.
+	ErrUnavailable = errors.New("svc: target node unavailable")
 	// ErrRemote: the remote handler replied with an application error.
 	ErrRemote = errors.New("svc: remote error")
 )
@@ -86,7 +90,8 @@ func wrapErr(err error) error {
 		return nil
 	case errors.Is(err, ErrUnsupportedPattern), errors.Is(err, ErrNoSuchService),
 		errors.Is(err, ErrNoSuchOp), errors.Is(err, ErrTimeout),
-		errors.Is(err, ErrVetoed), errors.Is(err, ErrRemote), errors.Is(err, ErrAlreadyBound):
+		errors.Is(err, ErrVetoed), errors.Is(err, ErrRemote), errors.Is(err, ErrAlreadyBound),
+		errors.Is(err, ErrUnavailable):
 		return err
 	case errors.Is(err, middleware.ErrPatternUnsupported):
 		return &classed{class: ErrUnsupportedPattern, cause: err}
@@ -98,6 +103,8 @@ func wrapErr(err error) error {
 		return &classed{class: ErrAlreadyBound, cause: err}
 	case errors.Is(err, middleware.ErrCallTimeout):
 		return &classed{class: ErrTimeout, cause: err}
+	case errors.Is(err, middleware.ErrUnavailable):
+		return &classed{class: ErrUnavailable, cause: err}
 	case errors.Is(err, middleware.ErrRemote):
 		return &classed{class: ErrRemote, cause: err}
 	default:
