@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-smoke bench-kernel bench-codec bench-path bench-svc bench-shard bench-xl bench-baseline bench-baseline-codec bench-baseline-path bench-baseline-svc bench-baseline-shard bench-baseline-xl bench-regression sweep sweep-large sweep-xl sweep-churn linkcheck profile fig fuzz cover fmt vet repolint lint check clean help
+.PHONY: all build test generate bench bench-smoke bench-kernel bench-codec bench-path bench-svc bench-shard bench-xl bench-baseline bench-baseline-codec bench-baseline-path bench-baseline-svc bench-baseline-shard bench-baseline-xl bench-regression sweep sweep-large sweep-xl sweep-churn linkcheck profile fig fuzz cover fmt vet repolint lint check clean help
 
 all: check
 
@@ -9,6 +9,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Regenerate every committed sdlgen package from its .svc spec (the CI
+# freshness gate runs this and requires a clean diff; see DESIGN.md §1.9).
+generate:
+	$(GO) generate ./examples/...
 
 bench:
 	$(GO) test -bench . -run XXX .
@@ -99,6 +104,7 @@ bench-regression:
 fuzz:
 	$(GO) test -fuzz FuzzKernelOrdering -fuzztime 60s -run XXX ./internal/sim
 	$(GO) test -fuzz FuzzCodecRoundTrip -fuzztime 60s -run XXX ./internal/codec
+	$(GO) test -fuzz FuzzSDLRoundTrip -fuzztime 60s -run XXX ./internal/sdl
 
 # Coverage profile + per-function summary (the CI coverage job).
 cover:
@@ -178,6 +184,7 @@ help:
 	@echo "lint             repolint + vet (+ staticcheck when installed)"
 	@echo "repolint         build and run the custom analyzer suite over ./..."
 	@echo "test             go test ./..."
+	@echo "generate         regenerate sdlgen packages from their .svc specs"
 	@echo "bench-smoke      one iteration of every benchmark"
 	@echo "bench-regression compare kernel/codec/path/svc/shard benches against baselines"
 	@echo "bench-baseline*  refresh a committed benchmark baseline"
@@ -187,6 +194,6 @@ help:
 	@echo "sweep-churn      the crash/restart robustness band (availability + safety gate)"
 	@echo "linkcheck        verify relative links + anchors in the top-level docs"
 	@echo "profile          CPU+alloc profiles of the full sweep"
-	@echo "fuzz             bounded kernel + codec fuzzing"
+	@echo "fuzz             bounded kernel + codec + SDL fuzzing"
 	@echo "cover            coverage profile + per-function summary"
 	@echo "fig              regenerate every paper figure"

@@ -27,31 +27,11 @@ import (
 	"strings"
 	"time"
 
+	"repro/examples/specs"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/sdl"
 )
-
-const exampleSpec = `service floor-control {
-  description "coordinated exclusive access to named resources"
-  role subscriber [2..*]
-
-  primitive request(resid: string) from-user
-  primitive granted(resid: string) to-user
-  primitive free(resid: string) from-user
-
-  constraint local granted-follows-request:
-    precedes request -> granted key sap+param resid
-  constraint local free-follows-granted:
-    precedes granted -> free key sap+param resid
-  constraint remote exclusive-grant:
-    mutex acquire granted release free key param resid
-  constraint local request-eventually-granted:
-    eventually request -> granted key sap+param resid
-  constraint local no-request-while-held:
-    absent request between granted and free key sap+param resid
-}
-`
 
 func main() {
 	os.Exit(run())
@@ -61,11 +41,11 @@ func run() int {
 	specPath := flag.String("spec", "", "service definition file (.svc)")
 	doc := flag.Bool("doc", false, "print the Figure-5-style service document instead of canonical SDL")
 	check := flag.String("check", "", "trace file to check against the specification")
-	example := flag.Bool("example", false, "print an example service definition and exit")
+	example := flag.Bool("example", false, "print the committed example definition (examples/specs/floorcontrol.svc) and exit")
 	flag.Parse()
 
 	if *example {
-		fmt.Print(exampleSpec)
+		fmt.Print(specs.FloorControl)
 		return 0
 	}
 	if *specPath == "" {

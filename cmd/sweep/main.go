@@ -13,6 +13,7 @@
 //	sweep -band xl -xlscale 1024           # scaled-down xl smoke (same code paths)
 //	sweep -band churn                      # crash/restart robustness band (runner.ChurnBand)
 //	sweep -band churn -crash 1,10 -mttr 100ms  # override the churn dimensions
+//	sweep -bandfile examples/bands/default.band  # file-defined band (see internal/bandfile)
 //	sweep -shards 4                        # sharded engine; byte-identical output
 //	sweep -format csv -out sweep.csv       # machine-readable output
 //	sweep -cpuprofile cpu.pprof            # profile the sweep (see make profile)
@@ -53,6 +54,7 @@ func run() int {
 	cycles := flag.Int("cycles", 6, "acquire/hold/release cycles per subscriber")
 	shards := flag.Int("shards", 0, "sim kernels per scenario (0 or 1 = single kernel; results are identical for any value)")
 	band := flag.String("band", "", "named scenario band: default, large, xl, or churn (overrides the dimension flags)")
+	bandfile := flag.String("bandfile", "", "band definition file (.band, see internal/bandfile; overrides the dimension flags)")
 	xlscale := flag.Int("xlscale", 1, "population divisor for -band xl (CI smoke runs use e.g. 1024)")
 	crash := flag.String("crash", "", "comma-separated crash rates (crashes/s per node) for -band churn; empty = band defaults")
 	mttr := flag.String("mttr", "", "comma-separated mean times to repair (durations, e.g. 50ms,200ms) for -band churn; empty = band defaults")
@@ -80,6 +82,16 @@ func run() int {
 	if *xlscale < 1 {
 		fmt.Fprintf(os.Stderr, "sweep: -xlscale: value %d is not positive\n", *xlscale)
 		return 2
+	}
+	if *bandfile != "" {
+		if *band != "" {
+			fmt.Fprintln(os.Stderr, "sweep: -band and -bandfile are mutually exclusive")
+			return 2
+		}
+		if *crash != "" || *mttr != "" {
+			fmt.Fprintln(os.Stderr, "sweep: -crash/-mttr only apply to -band churn; band files carry their own crash/mttr statements")
+			return 2
+		}
 	}
 	var scenarios []runner.Scenario
 	switch *band {
@@ -114,6 +126,17 @@ func run() int {
 	if *band != "churn" && (*crash != "" || *mttr != "") {
 		fmt.Fprintln(os.Stderr, "sweep: -crash/-mttr only apply to -band churn")
 		return 2
+	}
+	if *bandfile != "" {
+		src, err := os.ReadFile(*bandfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: -bandfile: %v\n", err)
+			return 1
+		}
+		if scenarios, err = runner.BandFileScenarios(string(src), *shards); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", *bandfile, err)
+			return 2
+		}
 	}
 	matrix := runner.Matrix{Cycles: *cycles, Shards: *shards}
 	if sols := strings.TrimSpace(*solutions); sols != "all" {

@@ -1,0 +1,3 @@
+package allkinds
+
+//go:generate go run repro/cmd/sdlgen -spec ../../specs/allkinds.svc -out . -pkg allkinds

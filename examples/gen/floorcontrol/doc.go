@@ -1,0 +1,3 @@
+package floorcontrol
+
+//go:generate go run repro/cmd/sdlgen -spec ../../specs/floorcontrol.svc -out . -pkg floorcontrol

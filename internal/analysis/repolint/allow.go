@@ -60,13 +60,25 @@ type Allows struct {
 	// byLine maps filename → line → check names allowed there. A
 	// comment alone on its line also registers the following line.
 	byLine map[string]map[int][]string
+	// generated holds the filenames carrying a standard "Code generated
+	// ... DO NOT EDIT." marker; diagnostics in them are suppressed
+	// wholesale — the fix belongs in the generator, and a human cannot
+	// annotate a file that is overwritten on every regeneration.
+	generated map[string]bool
 }
 
 // CollectAllows builds the allow index for a pass. Analyzers call this
 // once in their Run and route every diagnostic through Allows.Report.
 func CollectAllows(pass *analysis.Pass) *Allows {
-	a := &Allows{fset: pass.Fset, byLine: make(map[string]map[int][]string)}
+	a := &Allows{
+		fset:      pass.Fset,
+		byLine:    make(map[string]map[int][]string),
+		generated: make(map[string]bool),
+	}
 	for _, f := range pass.Files {
+		if ast.IsGenerated(f) {
+			a.generated[a.fset.Position(f.Pos()).Filename] = true
+		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				name, args, ok := parseDirective(c.Text)
@@ -120,9 +132,13 @@ func (a *Allows) aloneOnLine(f *ast.File, c *ast.Comment) bool {
 	return alone
 }
 
-// Allowed reports whether check is suppressed at pos.
+// Allowed reports whether check is suppressed at pos, either by an
+// allow directive on the line or because the file is generated.
 func (a *Allows) Allowed(pos token.Pos, check string) bool {
 	p := a.fset.Position(pos)
+	if a.generated[p.Filename] {
+		return true
+	}
 	lines := a.byLine[p.Filename]
 	if lines == nil {
 		return false

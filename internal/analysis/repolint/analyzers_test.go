@@ -15,6 +15,14 @@ func TestSimdeterminism(t *testing.T) {
 	analysistest.Run(t, "testdata", "repro/internal/sim", repolint.Simdeterminism)
 }
 
+// TestGeneratedFilesSkipped proves the generated-file exemption: a file
+// with a standard "Code generated ... DO NOT EDIT." marker draws no
+// diagnostics even inside the deterministic package set, while its
+// hand-written sibling in the same package is checked as usual.
+func TestGeneratedFilesSkipped(t *testing.T) {
+	analysistest.Run(t, "testdata", "repro/internal/sim/gen", repolint.Simdeterminism)
+}
+
 // TestSimdeterminismScope proves the analyzer is scoped by import path:
 // the same constructs draw no diagnostics outside the deterministic
 // package set.

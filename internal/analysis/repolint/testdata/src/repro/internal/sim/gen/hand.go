@@ -1,0 +1,10 @@
+// Package gen is golden test data for the generated-file exemption:
+// the sibling file carries a "Code generated" marker and is skipped
+// wholesale; this hand-written file is checked as usual.
+package gen
+
+import "time"
+
+func handViolation() time.Time {
+	return time.Now() // want `wallclock: time\.Now reads the wall clock`
+}

@@ -1,0 +1,105 @@
+package bandfile
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseFullBand pins every statement form in one block.
+func TestParseFullBand(t *testing.T) {
+	src := `# comment
+band everything {
+  description "all statements" // trailing comment
+  kind churn
+  solutions mw-callback, mw-polling
+  crash 0.5, 2
+  mttr 50 ms, 1 s, 250 us
+  rebind none, failover
+  deadline 8 s
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Band{
+		Name:        "everything",
+		Description: "all statements",
+		Kind:        KindChurn,
+		Solutions:   []string{"mw-callback", "mw-polling"},
+		Crash:       []float64{0.5, 2},
+		MTTR:        []time.Duration{50 * time.Millisecond, time.Second, 250 * time.Microsecond},
+		Rebind:      []string{"none", "failover"},
+		Deadline:    8 * time.Second,
+	}
+	if len(f.Bands) != 1 || !reflect.DeepEqual(f.Bands[0], want) {
+		t.Fatalf("parsed %+v, want %+v", f.Bands[0], want)
+	}
+}
+
+// TestParseDefaults pins the defaulted forms: omitted kind is matrix,
+// "solutions all" and "rebind auto" normalize to nil.
+func TestParseDefaults(t *testing.T) {
+	f, err := Parse("band b {\n  solutions all\n  clients 2, 8\n  loss 0, 0.01\n  cycles 6\n}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := f.Bands[0]
+	if b.Kind != KindMatrix {
+		t.Fatalf("omitted kind parsed as %q", b.Kind)
+	}
+	if b.Solutions != nil {
+		t.Fatalf("'solutions all' parsed as %v, want nil", b.Solutions)
+	}
+	if !reflect.DeepEqual(b.Clients, []int{2, 8}) || !reflect.DeepEqual(b.Loss, []float64{0, 0.01}) || b.Cycles != 6 {
+		t.Fatalf("dimensions parsed as %+v", b)
+	}
+
+	f, err = Parse("band c {\n  kind churn\n  rebind auto\n}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Bands[0].Rebind != nil {
+		t.Fatalf("'rebind auto' parsed as %v, want nil", f.Bands[0].Rebind)
+	}
+}
+
+// TestParseErrors pins grammar-level rejections with positions.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"missing band keyword", "bond b {}\n", "expected 'band'"},
+		{"missing name", "band {\n}\n", "expected identifier"},
+		{"missing brace", "band b\n", "expected '{'"},
+		{"unterminated block", "band b {\n  cycles 6\n", "expected a statement or '}'"},
+		{"duplicate statement", "band b {\n  cycles 6\n  cycles 7\n}\n", "duplicate \"cycles\" statement"},
+		{"bad kind", "band b {\n  kind jumbo\n}\n", "unknown band kind"},
+		{"bad duration unit", "band b {\n  kind churn\n  mttr 50 h\n}\n", "unknown duration unit"},
+		{"number overflow", "band b {\n  kind churn\n  deadline 99999999999999999999 s\n}\n", "out of range"},
+		{"duration overflow", "band b {\n  kind churn\n  deadline 9223372036854775807 s\n}\n", "overflows"},
+		{"bare dot number", "band b {\n  loss 1.\n}\n", "no digits after"},
+		{"unterminated string", "band b {\n  description \"oops\n}\n", "unterminated string"},
+		{"stray character", "band b {\n  loss 0;\n}\n", "unexpected character"},
+		{"trailing comma", "band b {\n  clients 2,\n}\n", "expected number"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatal("invalid source accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			serr, ok := err.(*SyntaxError)
+			if !ok || serr.Line == 0 {
+				t.Fatalf("error %v carries no position", err)
+			}
+		})
+	}
+}

@@ -210,7 +210,7 @@ func Format(d *Document) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "service %s {\n", d.Name)
 	if d.Description != "" {
-		fmt.Fprintf(&sb, "  description %q\n", d.Description)
+		fmt.Fprintf(&sb, "  description %s\n", quoteSDL(d.Description))
 	}
 	if len(d.Roles) > 0 {
 		sb.WriteByte('\n')
@@ -268,6 +268,30 @@ func Format(d *Document) string {
 		sb.WriteByte('\n')
 	}
 	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// quoteSDL renders s as an SDL string literal using only the escapes the
+// lexer understands (\", \\ and \n); every other byte passes through
+// verbatim. strconv-style %q would emit escapes like \t or \x80 that do
+// not reparse, breaking the Format round-trip guarantee.
+func quoteSDL(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s) + 2)
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
 	return sb.String()
 }
 

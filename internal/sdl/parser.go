@@ -2,6 +2,7 @@ package sdl
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"time"
 
@@ -136,7 +137,9 @@ func (p *parser) parseRole() (RoleDecl, *SyntaxError) {
 	if err != nil {
 		return RoleDecl{}, err
 	}
-	r.Min, _ = strconv.Atoi(min.text)
+	if r.Min, err = p.atoi(min); err != nil {
+		return RoleDecl{}, err
+	}
 	if _, err := p.expect(tokDotDot); err != nil {
 		return RoleDecl{}, err
 	}
@@ -146,7 +149,9 @@ func (p *parser) parseRole() (RoleDecl, *SyntaxError) {
 		r.Max = -1
 	case tokNumber:
 		p.advance()
-		r.Max, _ = strconv.Atoi(t.text)
+		if r.Max, err = p.atoi(t); err != nil {
+			return RoleDecl{}, err
+		}
 	default:
 		return RoleDecl{}, p.errorf(t, "expected number or '*' in cardinality")
 	}
@@ -296,7 +301,9 @@ func (p *parser) parseConstraint() (ConstraintDecl, *SyntaxError) {
 		if err != nil {
 			return ConstraintDecl{}, err
 		}
-		decl.Limit, _ = strconv.Atoi(limitTok.text)
+		if decl.Limit, err = p.atoi(limitTok); err != nil {
+			return ConstraintDecl{}, err
+		}
 		if decl.Limit < 1 {
 			return ConstraintDecl{}, p.errorf(limitTok, "capacity limit must be at least 1")
 		}
@@ -416,25 +423,43 @@ func (p *parser) parseKey() (KeyDecl, *SyntaxError) {
 	return decl, nil
 }
 
+// atoi converts a number token, rejecting values that overflow int (a
+// silently clamped literal would not survive the Format round trip).
+func (p *parser) atoi(t token) (int, *SyntaxError) {
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, p.errorf(t, "number %q out of range", t.text)
+	}
+	return n, nil
+}
+
 // parseDuration parses "<number> <unit>" with unit in us, ms, s.
 func (p *parser) parseDuration() (time.Duration, *SyntaxError) {
 	numTok, err := p.expect(tokNumber)
 	if err != nil {
 		return 0, err
 	}
-	n, _ := strconv.Atoi(numTok.text)
+	n, aerr := p.atoi(numTok)
+	if aerr != nil {
+		return 0, aerr
+	}
 	unitTok, err := p.expect(tokIdent)
 	if err != nil {
 		return 0, err
 	}
+	var unit time.Duration
 	switch unitTok.text {
 	case "us":
-		return time.Duration(n) * time.Microsecond, nil
+		unit = time.Microsecond
 	case "ms":
-		return time.Duration(n) * time.Millisecond, nil
+		unit = time.Millisecond
 	case "s":
-		return time.Duration(n) * time.Second, nil
+		unit = time.Second
 	default:
 		return 0, p.errorf(unitTok, "unknown duration unit %q (want us, ms, s)", unitTok.text)
 	}
+	if int64(n) > math.MaxInt64/int64(unit) {
+		return 0, p.errorf(numTok, "duration %s %s overflows", numTok.text, unitTok.text)
+	}
+	return time.Duration(n) * unit, nil
 }
